@@ -1,0 +1,113 @@
+// Top-level benchmarks: one per experiment of EXPERIMENTS.md, so every
+// figure/lemma/theorem reproduction has a `go test -bench` entry point, plus
+// end-to-end benchmarks of the two headline pipelines (the greedy machine
+// and the Theorem 5 adversary).
+package repro
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/runtime"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkE1GreedyRounds(b *testing.B)  { benchExperiment(b, "E1") }
+func BenchmarkE2WorstCase(b *testing.B)     { benchExperiment(b, "E2") }
+func BenchmarkE3ColourSystems(b *testing.B) { benchExperiment(b, "E3") }
+func BenchmarkE4Encoding(b *testing.B)      { benchExperiment(b, "E4") }
+func BenchmarkE5Template(b *testing.B)      { benchExperiment(b, "E5") }
+func BenchmarkE6Extension(b *testing.B)     { benchExperiment(b, "E6") }
+func BenchmarkE7BaseCase(b *testing.B)      { benchExperiment(b, "E7") }
+func BenchmarkE8Inductive(b *testing.B)     { benchExperiment(b, "E8") }
+func BenchmarkE9Adversary(b *testing.B)     { benchExperiment(b, "E9") }
+func BenchmarkE10Regular(b *testing.B)      { benchExperiment(b, "E10") }
+func BenchmarkE12Lemmas(b *testing.B)       { benchExperiment(b, "E12") }
+func BenchmarkE13Views(b *testing.B)        { benchExperiment(b, "E13") }
+func BenchmarkE14Related(b *testing.B)      { benchExperiment(b, "E14") }
+
+// E11 sweeps palettes up to 2048 and is by far the heaviest experiment;
+// gate it so default -bench=. runs stay snappy while -bench=E11 still works.
+func BenchmarkE11UpperBounds(b *testing.B) {
+	if testing.Short() {
+		b.Skip("E11 sweeps k up to 2048; skipped with -short")
+	}
+	benchExperiment(b, "E11")
+}
+
+// BenchmarkAdversaryByK isolates the Theorem 5 pipeline per palette size.
+func BenchmarkAdversaryByK(b *testing.B) {
+	for _, k := range []int{3, 4, 5, 6} {
+		b.Run(benchName(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				adv, err := core.New(algo.NewGreedy(), k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := adv.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.OutV.IsMatched() {
+					b.Fatal("wrong adversary outcome")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGreedyMachineEngines compares the sequential engine against the
+// goroutine-per-node engine on the same instance.
+func BenchmarkGreedyMachineEngines(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := graph.RandomRegular(512, 6, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := runtime.RunSequential(g, dist.NewGreedyMachine, 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("concurrent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := runtime.RunConcurrent(g, dist.NewGreedyMachine, 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkReductionSchedule measures the shared schedule computation that
+// every node of the reduced-greedy machine performs at Init.
+func BenchmarkReductionSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dist.ReductionSchedule(1<<20, 6)
+	}
+}
+
+func benchName(k int) string {
+	return "k=" + string(rune('0'+k))
+}

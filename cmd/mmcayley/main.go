@@ -1,0 +1,100 @@
+// Command mmcayley renders windows of Cayley-graph colour systems — Γ_k,
+// the Figure 2 example, bi-infinite paths, or the adversary's U and V —
+// as Graphviz DOT, optionally with the greedy matching in bold.
+//
+// Usage:
+//
+//	mmcayley -system full -k 3 -radius 3 | dot -Tpng > gamma3.png
+//	mmcayley -system figure2
+//	mmcayley -system adversary-u -k 4 -radius 3 -matching
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/algo"
+	"repro/internal/colsys"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/group"
+	"repro/internal/mm"
+)
+
+func main() {
+	system := flag.String("system", "full", "system: full, figure2, path, adversary-u, adversary-v")
+	k := flag.Int("k", 3, "number of colours")
+	radius := flag.Int("radius", 3, "window radius")
+	matching := flag.Bool("matching", false, "highlight the greedy matching")
+	flag.Parse()
+
+	sys, err := buildSystem(*system, *k)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmcayley: %v\n", err)
+		os.Exit(2)
+	}
+
+	g, index, err := graph.FromSystem(sys, *radius)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmcayley: %v\n", err)
+		os.Exit(1)
+	}
+	names := make([]string, g.N())
+	for key, id := range index {
+		names[id] = group.FromKey(key).String()
+	}
+
+	var highlight []graph.Edge
+	if *matching {
+		viewGreedy := algo.NewGreedy()
+		for _, w := range colsys.Nodes(sys, *radius) {
+			if w.IsIdentity() {
+				continue
+			}
+			c := w.Tail()
+			if viewGreedy.Eval(sys, w) == mm.Matched(c) && viewGreedy.Eval(sys, w.Pred()) == mm.Matched(c) {
+				highlight = append(highlight, graph.Edge{
+					U: index[w.Pred().Key()], V: index[w.Key()], Color: c,
+				})
+			}
+		}
+	}
+
+	if err := g.DOT(os.Stdout, func(v int) string { return names[v] }, highlight); err != nil {
+		fmt.Fprintf(os.Stderr, "mmcayley: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func buildSystem(name string, k int) (colsys.System, error) {
+	switch name {
+	case "full":
+		return colsys.Full(k), nil
+	case "figure2":
+		return colsys.ParseFinite(3, "e, 1, 2, 2·1, 3, 3·1, 3·2")
+	case "path":
+		right := make([]group.Color, 0, k)
+		left := make([]group.Color, 0, k)
+		for c := 1; c <= k; c++ {
+			right = append(right, group.Color(c))
+			left = append(left, group.Color(k+1-c))
+		}
+		return colsys.NewPath(k, right, left)
+	case "adversary-u", "adversary-v":
+		adv, err := core.New(algo.NewGreedy(), k)
+		if err != nil {
+			return nil, err
+		}
+		res, err := adv.Run()
+		if err != nil {
+			return nil, err
+		}
+		if name == "adversary-u" {
+			return res.U.System(), nil
+		}
+		return res.V.System(), nil
+	default:
+		return nil, fmt.Errorf("unknown system %q", name)
+	}
+}

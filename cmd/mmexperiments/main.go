@@ -1,0 +1,47 @@
+// Command mmexperiments regenerates the paper's figures, lemmas and
+// theorems as experiment tables (see EXPERIMENTS.md for the index).
+//
+// Usage:
+//
+//	mmexperiments             # run all experiments E1…E14
+//	mmexperiments -run E9     # run one experiment
+//	mmexperiments -list       # list the registry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "", "run a single experiment by ID (e.g. E9)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %-60s (%s)\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+	if *run != "" {
+		e, ok := harness.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mmexperiments: unknown experiment %q\n", *run)
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s — %s (%s)\n", e.ID, e.Title, e.Paper)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mmexperiments: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := harness.RunAll(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "mmexperiments: %v\n", err)
+		os.Exit(1)
+	}
+}

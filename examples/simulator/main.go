@@ -1,0 +1,78 @@
+// Simulator showcases the goroutine-per-node LOCAL runtime and the §1.3
+// upper-bound regime: on a graph with small maximum degree Δ but a huge
+// palette k, Linial colour reduction collapses the palette in O(log* k)
+// rounds, after which greedy finishes in rounds that depend only on Δ —
+// far below the k−1 bound that plain greedy is stuck with.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/logstar"
+	"repro/internal/runtime"
+)
+
+func main() {
+	const (
+		n     = 200
+		k     = 1 << 16 // 65536 colours
+		delta = 3
+	)
+	rng := rand.New(rand.NewSource(42))
+	g := graph.RandomBoundedDegree(n, k, delta, 5*n, rng)
+	fmt.Printf("instance: n = %d, |E| = %d, Δ = %d, palette k = %d (log* k = %d)\n\n",
+		g.N(), g.NumEdges(), g.MaxDegree(), k, logstar.LogStar(k))
+
+	// The reduction schedule every node derives locally from (k, Δ):
+	fmt.Println("Linial reduction schedule (shared by all nodes):")
+	q := k
+	for i, step := range dist.ReductionSchedule(k, 2*(delta-1)) {
+		fmt.Printf("  round %d: %6d colours → %4d (degree-%d polynomials over F_%d)\n",
+			i+1, q, step.NewQ, step.S, step.P)
+		q = step.NewQ
+	}
+	fmt.Printf("  then greedy over the %d remaining colour classes\n\n", q)
+
+	// Plain greedy: worst case k−1 rounds; here it needs about as many
+	// rounds as the largest colour present.
+	outs, stats, err := runtime.RunConcurrent(g, dist.NewGreedyMachine, 2*k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := graph.CheckMatching(g, outs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plain greedy:    %6d rounds, %7d messages (bound k−1 = %d)\n",
+		stats.Rounds, stats.Messages, k-1)
+
+	// Reduced greedy: O(log* k) + O(f(Δ)) rounds.
+	budget := dist.TotalRounds(k, delta) + 8
+	outs, stats, err = runtime.RunConcurrent(g, dist.NewReducedGreedyMachine(delta), budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := graph.CheckMatching(g, outs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reduced greedy:  %6d rounds, %7d messages (predicted ≤ %d)\n",
+		stats.Rounds, stats.Messages, dist.TotalRounds(k, delta))
+
+	// Proposal baseline for contrast.
+	outs, stats, err = runtime.RunConcurrent(g, dist.NewProposalMachine, 4*k+n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := graph.CheckMatching(g, outs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("proposal:        %6d rounds, %7d messages (palette-independent here,\n",
+		stats.Rounds, stats.Messages)
+	fmt.Println("                 but Θ(n) on adversarial chains — see experiment E11)")
+
+	fmt.Println("\neach node ran as its own goroutine; synchrony came from the")
+	fmt.Println("channel-per-edge α-synchroniser, not from a global barrier.")
+}

@@ -1,0 +1,280 @@
+// Package algo implements deterministic distributed maximal-matching
+// algorithms as view functions in the sense of §2.3 of Hirvonen & Suomela
+// (PODC 2012): functions A(V, v) whose value depends only on the local
+// view (v̄V)[r+1].
+//
+// The centrepiece is Greedy, the algorithm the paper proves optimal: colour
+// classes are processed in increasing order, and an edge of colour i joins
+// the matching iff both endpoints are still free after classes 1…i−1. Its
+// local output at v is computed by a recursion over strictly decreasing
+// colours, so a single evaluation touches at most 2^k (node, colour) pairs
+// and works directly on the lazy, infinite colour systems produced by the
+// lower-bound adversary.
+//
+// The package also provides Restricted (force an algorithm to run on a
+// smaller view — a correct algorithm made incorrect, used to exercise the
+// adversary's certifier paths) and Localized (re-evaluate through an
+// explicitly extracted ball — used to machine-check locality claims).
+package algo
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/colsys"
+	"repro/internal/group"
+	"repro/internal/mm"
+)
+
+// Greedy is the greedy maximal-matching algorithm of §1.2, optionally with
+// a permuted colour order. The zero value is not usable; construct with
+// NewGreedy or NewGreedyOrder.
+//
+// Greedy memoises per colour system and is safe for concurrent use.
+type Greedy struct {
+	name     string
+	priority []int // priority[c] is the processing step of colour c; nil = identity
+
+	mu      sync.Mutex
+	systems map[colsys.System]*greedyMemo
+}
+
+type greedyMemo struct {
+	mu   sync.Mutex
+	edge map[edgeKey]bool
+}
+
+type edgeKey struct {
+	u string // Key() of the shortlex-smaller endpoint
+	c group.Color
+}
+
+var _ mm.Algorithm = (*Greedy)(nil)
+
+// NewGreedy returns the standard greedy algorithm: colours are processed in
+// increasing numeric order 1, 2, …, k.
+func NewGreedy() *Greedy {
+	return &Greedy{name: "greedy", systems: make(map[colsys.System]*greedyMemo)}
+}
+
+// NewGreedyOrder returns a greedy algorithm that processes colour classes
+// in the given order (a permutation of 1…k, earliest first). Every such
+// permutation yields a correct maximal-matching algorithm with running time
+// k − 1; the adversary of §3 defeats each of them.
+func NewGreedyOrder(order []group.Color) (*Greedy, error) {
+	k := len(order)
+	prio := make([]int, k+1)
+	for i, c := range order {
+		if !c.Valid(k) {
+			return nil, fmt.Errorf("algo: order entry %v outside 1…%d", c, k)
+		}
+		if prio[c] != 0 {
+			return nil, fmt.Errorf("algo: colour %v repeated in order", c)
+		}
+		prio[c] = i + 1
+	}
+	return &Greedy{
+		name:     fmt.Sprintf("greedy%v", order),
+		priority: prio,
+		systems:  make(map[colsys.System]*greedyMemo),
+	}, nil
+}
+
+// Name identifies the algorithm.
+func (g *Greedy) Name() string { return g.name }
+
+// RunningTime returns k − 1: the output at v is determined by (v̄V)[k]
+// (Lemma 1; the recursion below never probes membership beyond distance k).
+func (g *Greedy) RunningTime(k int) int { return k - 1 }
+
+// Eval returns the greedy output at node `at` of V: the colour of the
+// matched edge, or ⊥.
+func (g *Greedy) Eval(v colsys.System, at group.Word) mm.Output {
+	memo := g.memoFor(v)
+	// The node is matched along its incident edge with the earliest
+	// priority that survives the greedy process.
+	for _, c := range g.colorOrder(v, at) {
+		if g.edgeMatched(v, memo, at, c) {
+			return mm.Matched(c)
+		}
+	}
+	return mm.Bottom
+}
+
+// prio returns the processing step of colour c (smaller = earlier).
+func (g *Greedy) prio(c group.Color) int {
+	if g.priority == nil {
+		return int(c)
+	}
+	if int(c) < len(g.priority) {
+		return g.priority[c]
+	}
+	return int(c) // colours beyond the configured k keep numeric order
+}
+
+// colorOrder returns C(V, at) sorted by processing priority.
+func (g *Greedy) colorOrder(v colsys.System, at group.Word) []group.Color {
+	colors := colsys.Colors(v, at)
+	// Insertion sort by priority; degree is at most k, which is small.
+	for i := 1; i < len(colors); i++ {
+		for j := i; j > 0 && g.prio(colors[j-1]) > g.prio(colors[j]); j-- {
+			colors[j-1], colors[j] = colors[j], colors[j-1]
+		}
+	}
+	return colors
+}
+
+// edgeMatched reports whether the edge {u, u·c} joins the greedy matching:
+// both endpoints must still be free when colour c's class is processed.
+func (g *Greedy) edgeMatched(v colsys.System, memo *greedyMemo, u group.Word, c group.Color) bool {
+	w := u.Append(c)
+	key := edgeKey{c: c}
+	if group.Less(u, w) {
+		key.u = u.Key()
+	} else {
+		key.u = w.Key()
+	}
+	memo.mu.Lock()
+	if r, ok := memo.edge[key]; ok {
+		memo.mu.Unlock()
+		return r
+	}
+	memo.mu.Unlock()
+
+	r := g.endpointFree(v, memo, u, c) && g.endpointFree(v, memo, w, c)
+
+	memo.mu.Lock()
+	memo.edge[key] = r
+	memo.mu.Unlock()
+	return r
+}
+
+// endpointFree reports whether node u is still unmatched when colour c's
+// class is processed: no incident edge of earlier priority was matched.
+func (g *Greedy) endpointFree(v colsys.System, memo *greedyMemo, u group.Word, c group.Color) bool {
+	pc := g.prio(c)
+	for _, c2 := range g.colorOrder(v, u) {
+		if g.prio(c2) >= pc {
+			break
+		}
+		if g.edgeMatched(v, memo, u, c2) {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *Greedy) memoFor(v colsys.System) *greedyMemo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m, ok := g.systems[v]
+	if !ok {
+		m = &greedyMemo{edge: make(map[edgeKey]bool)}
+		g.systems[v] = m
+	}
+	return m
+}
+
+// Localized wraps an algorithm so that every evaluation goes through an
+// explicitly extracted radius-(r+1) ball: Eval(V, v) materialises
+// (v̄V)[r+1] as a finite system and evaluates the inner algorithm at its
+// root. For an algorithm that honours its declared running time this is
+// observationally identical to the unwrapped algorithm — which is exactly
+// what tests use it to verify.
+type Localized struct {
+	inner mm.Algorithm
+}
+
+var _ mm.Algorithm = (*Localized)(nil)
+
+// NewLocalized wraps inner.
+func NewLocalized(inner mm.Algorithm) *Localized { return &Localized{inner: inner} }
+
+// Name identifies the wrapper.
+func (l *Localized) Name() string { return "localized(" + l.inner.Name() + ")" }
+
+// RunningTime delegates to the inner algorithm.
+func (l *Localized) RunningTime(k int) int { return l.inner.RunningTime(k) }
+
+// Eval evaluates the inner algorithm on the materialised view.
+func (l *Localized) Eval(v colsys.System, at group.Word) mm.Output {
+	ball, err := colsys.Ball(v, at, l.inner.RunningTime(v.K())+1)
+	if err != nil {
+		return mm.Bottom // at ∉ V: unspecified, match the convention of Greedy
+	}
+	return l.inner.Eval(ball, group.Identity())
+}
+
+// Restricted forces an algorithm to run with a smaller running time r:
+// every evaluation sees only the radius-(r+1) ball. If r is below the
+// algorithm's true running time the result is generally *not* a
+// maximal-matching algorithm any more; the lower-bound machinery uses this
+// to exercise its counterexample-reporting paths (and the paper's Theorem 2
+// says this must fail for every correct algorithm when r < k − 1).
+type Restricted struct {
+	inner mm.Algorithm
+	r     int
+}
+
+var _ mm.Algorithm = (*Restricted)(nil)
+
+// NewRestricted wraps inner with running time forced down to r.
+func NewRestricted(inner mm.Algorithm, r int) *Restricted {
+	return &Restricted{inner: inner, r: r}
+}
+
+// Name identifies the wrapper.
+func (a *Restricted) Name() string {
+	return fmt.Sprintf("restricted(%s, r=%d)", a.inner.Name(), a.r)
+}
+
+// RunningTime returns the forced running time.
+func (a *Restricted) RunningTime(int) int { return a.r }
+
+// Eval evaluates the inner algorithm on the radius-(r+1) ball only.
+func (a *Restricted) Eval(v colsys.System, at group.Word) mm.Output {
+	ball, err := colsys.Ball(v, at, a.r+1)
+	if err != nil {
+		return mm.Bottom
+	}
+	return a.inner.Eval(ball, group.Identity())
+}
+
+// Unmatched is the trivially wrong algorithm that leaves every node
+// unmatched. It violates (M3) on any system with at least one edge; tests
+// use it to exercise violation reporting.
+type Unmatched struct{}
+
+var _ mm.Algorithm = Unmatched{}
+
+// Name identifies the algorithm.
+func (Unmatched) Name() string { return "unmatched" }
+
+// RunningTime is 0: the constant output needs no communication.
+func (Unmatched) RunningTime(int) int { return 0 }
+
+// Eval always returns ⊥.
+func (Unmatched) Eval(colsys.System, group.Word) mm.Output { return mm.Bottom }
+
+// FirstColor is the non-algorithm that matches every node along its
+// smallest incident colour, without coordinating with the neighbour. It
+// satisfies (M1) but violates (M2) on most systems.
+type FirstColor struct{}
+
+var _ mm.Algorithm = FirstColor{}
+
+// Name identifies the algorithm.
+func (FirstColor) Name() string { return "first-color" }
+
+// RunningTime is 0.
+func (FirstColor) RunningTime(int) int { return 0 }
+
+// Eval returns the smallest incident colour, or ⊥ at isolated nodes.
+func (FirstColor) Eval(v colsys.System, at group.Word) mm.Output {
+	for c := group.Color(1); int(c) <= v.K(); c++ {
+		if colsys.HasColor(v, at, c) {
+			return mm.Matched(c)
+		}
+	}
+	return mm.Bottom
+}

@@ -1,0 +1,421 @@
+package algo
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/colsys"
+	"repro/internal/group"
+	"repro/internal/mm"
+	"repro/internal/template"
+)
+
+func mustWord(t *testing.T, s string) group.Word {
+	t.Helper()
+	w, err := group.Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return w
+}
+
+// chainSystem builds the colour system whose tree is a path starting at e
+// with the given edge colours: {e, c1, c1·c2, …}.
+func chainSystem(t *testing.T, k int, colors ...group.Color) *colsys.Finite {
+	t.Helper()
+	var words []group.Word
+	w := group.Identity()
+	for _, c := range colors {
+		w = w.Append(c)
+		words = append(words, w)
+	}
+	f, err := colsys.NewFinite(k, words)
+	if err != nil {
+		t.Fatalf("chainSystem: %v", err)
+	}
+	return f
+}
+
+// bruteForceGreedy simulates the global greedy process on a finite system:
+// colour classes in priority order, matching every edge whose endpoints are
+// both free. It is the reference implementation the local evaluator is
+// checked against.
+func bruteForceGreedy(f *colsys.Finite, order []group.Color) map[string]mm.Output {
+	if order == nil {
+		for c := group.Color(1); int(c) <= f.K(); c++ {
+			order = append(order, c)
+		}
+	}
+	out := make(map[string]mm.Output, f.Len())
+	words := f.Words()
+	for _, c := range order {
+		// Edges of colour c in deterministic order.
+		for _, w := range words {
+			if w.IsIdentity() || w.Tail() != c {
+				continue
+			}
+			u := w.Pred()
+			if _, taken := out[w.Key()]; taken {
+				continue
+			}
+			if _, taken := out[u.Key()]; taken {
+				continue
+			}
+			out[w.Key()] = mm.Matched(c)
+			out[u.Key()] = mm.Matched(c)
+		}
+	}
+	for _, w := range words {
+		if _, ok := out[w.Key()]; !ok {
+			out[w.Key()] = mm.Bottom
+		}
+	}
+	return out
+}
+
+// randomFinite builds a random finite colour system over k colours.
+func randomFinite(rng *rand.Rand, k, depth int, p float64) *colsys.Finite {
+	words := []group.Word{nil}
+	frontier := []group.Word{nil}
+	for d := 0; d < depth; d++ {
+		var next []group.Word
+		for _, w := range frontier {
+			for c := group.Color(1); int(c) <= k; c++ {
+				if c == w.Tail() {
+					continue
+				}
+				if rng.Float64() < p {
+					child := w.Append(c)
+					words = append(words, child)
+					next = append(next, child)
+				}
+			}
+		}
+		frontier = next
+	}
+	f, err := colsys.NewFinite(k, words)
+	if err != nil {
+		panic("randomFinite: " + err.Error())
+	}
+	return f
+}
+
+func TestGreedyMatchesBruteForceOnRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := NewGreedy()
+	for trial := 0; trial < 60; trial++ {
+		k := 3 + rng.Intn(3)
+		f := randomFinite(rng, k, 4, 0.6)
+		want := bruteForceGreedy(f, nil)
+		for _, w := range f.Words() {
+			got := g.Eval(f, w)
+			if got != want[w.Key()] {
+				t.Fatalf("trial %d (k=%d, V=%v): Eval(%v) = %v, brute force %v",
+					trial, k, f, w, got, want[w.Key()])
+			}
+		}
+	}
+}
+
+func TestGreedyOrderMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	orders := [][]group.Color{
+		{4, 3, 2, 1},
+		{2, 4, 1, 3},
+		{1, 3, 2, 4},
+	}
+	for _, order := range orders {
+		g, err := NewGreedyOrder(order)
+		if err != nil {
+			t.Fatalf("NewGreedyOrder(%v): %v", order, err)
+		}
+		for trial := 0; trial < 30; trial++ {
+			f := randomFinite(rng, 4, 4, 0.6)
+			want := bruteForceGreedy(f, order)
+			for _, w := range f.Words() {
+				if got := g.Eval(f, w); got != want[w.Key()] {
+					t.Fatalf("order %v trial %d: Eval(%v) = %v, want %v",
+						order, trial, w, got, want[w.Key()])
+				}
+			}
+		}
+	}
+}
+
+func TestNewGreedyOrderValidation(t *testing.T) {
+	if _, err := NewGreedyOrder([]group.Color{1, 1, 2}); err == nil {
+		t.Error("repeated colour accepted")
+	}
+	if _, err := NewGreedyOrder([]group.Color{1, 2, 5}); err == nil {
+		t.Error("out-of-range colour accepted")
+	}
+	if _, err := NewGreedyOrder([]group.Color{3, 1, 2}); err != nil {
+		t.Errorf("valid order rejected: %v", err)
+	}
+}
+
+// TestWorstCasePaths reproduces the §1.2 example: two paths whose endpoint
+// views agree up to radius k−1 but on which greedy answers differently.
+func TestWorstCasePaths(t *testing.T) {
+	g := NewGreedy()
+	for k := 3; k <= 7; k++ {
+		// U: path u −k− a1 −(k−1)− … −1− a_k (k edges, colours k…1).
+		// V: path v −k− b1 −(k−1)− … −2− b_{k−1} (k−1 edges, colours k…2).
+		var uCols, vCols []group.Color
+		for c := k; c >= 1; c-- {
+			uCols = append(uCols, group.Color(c))
+			if c >= 2 {
+				vCols = append(vCols, group.Color(c))
+			}
+		}
+		u := chainSystem(t, k, uCols...)
+		v := chainSystem(t, k, vCols...)
+
+		// The endpoint views coincide up to radius k−1 and differ at k.
+		if !colsys.EqualUpTo(u, v, k-1) {
+			t.Fatalf("k=%d: U[k-1] ≠ V[k-1]", k)
+		}
+		if colsys.EqualUpTo(u, v, k) {
+			t.Fatalf("k=%d: U[k] = V[k]", k)
+		}
+
+		// Greedy answers differently at the endpoints.
+		outU := g.Eval(u, group.Identity())
+		outV := g.Eval(v, group.Identity())
+		if outU == outV {
+			t.Errorf("k=%d: greedy gives %v at both endpoints", k, outU)
+		}
+		if outU.IsMatched() == outV.IsMatched() {
+			t.Errorf("k=%d: matched status equal: %v vs %v", k, outU, outV)
+		}
+
+		// Both runs are valid maximal matchings.
+		if err := mm.Check(g, u, k+1); err != nil {
+			t.Errorf("k=%d: greedy invalid on U: %v", k, err)
+		}
+		if err := mm.Check(g, v, k+1); err != nil {
+			t.Errorf("k=%d: greedy invalid on V: %v", k, err)
+		}
+	}
+}
+
+func TestGreedyIsMaximalMatchingOnInfiniteSystems(t *testing.T) {
+	g := NewGreedy()
+
+	full := colsys.Full(4)
+	if err := mm.Check(g, full, 3); err != nil {
+		t.Errorf("greedy invalid on Γ_4: %v", err)
+	}
+
+	path, err := colsys.NewPath(5, []group.Color{1, 2, 3}, []group.Color{3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mm.Check(g, path, 8); err != nil {
+		t.Errorf("greedy invalid on path: %v", err)
+	}
+
+	// Realisation of a 1-template: a 3-regular system over k = 4.
+	sys, err := colsys.NewFinite(4, []group.Word{{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl := template.New(sys, 1, func(w group.Word) group.Color {
+		if w.IsIdentity() {
+			return 1
+		}
+		return 3
+	})
+	re := template.Realise(tpl)
+	if err := mm.Check(g, re, 4); err != nil {
+		t.Errorf("greedy invalid on realisation: %v", err)
+	}
+}
+
+func TestGreedyLocality(t *testing.T) {
+	// Localized(greedy) must agree with greedy everywhere: the greedy
+	// output at v is determined by the ball (v̄V)[k], i.e. greedy has
+	// running time k − 1 as claimed by Lemma 1.
+	g := NewGreedy()
+	loc := NewLocalized(g)
+
+	systems := []colsys.System{
+		colsys.Full(3),
+		chainSystem(t, 4, 4, 3, 2, 1),
+		chainSystem(t, 4, 2, 3, 2, 4, 1),
+	}
+	path, err := colsys.NewPath(4, []group.Color{1, 2}, []group.Color{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems = append(systems, path)
+
+	for si, sys := range systems {
+		for _, w := range colsys.Nodes(sys, 3) {
+			direct := g.Eval(sys, w)
+			viaBall := loc.Eval(sys, w)
+			if direct != viaBall {
+				t.Errorf("system %d node %v: direct %v ≠ via-ball %v", si, w, direct, viaBall)
+			}
+		}
+	}
+}
+
+func TestGreedyRunningTimeTight(t *testing.T) {
+	// A ball of radius k−1 (one less than the running time allows) is NOT
+	// enough for greedy: on the §1.2 worst-case pair the radius-(k−1)
+	// balls at the endpoints are identical, yet greedy's outputs differ.
+	// This certifies r = k−1 is tight for the greedy evaluator itself.
+	g := NewGreedy()
+	k := 4
+	u := chainSystem(t, k, 4, 3, 2, 1)
+	v := chainSystem(t, k, 4, 3, 2)
+	ballU, err := colsys.Ball(u, group.Identity(), k-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ballV, err := colsys.Ball(v, group.Identity(), k-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !colsys.EqualUpTo(ballU, ballV, k) {
+		t.Fatal("radius-(k-1) balls differ; construction broken")
+	}
+	if g.Eval(u, group.Identity()) == g.Eval(v, group.Identity()) {
+		t.Fatal("outputs agree; worst-case pair broken")
+	}
+}
+
+func TestRestrictedGreedyViolatesM2(t *testing.T) {
+	// Greedy forced below its running time stops being an algorithm for
+	// maximal matchings: on the chain 4·3·2·1 with r = 1 the node "4"
+	// matches towards the root while the root stays unmatched.
+	g := NewRestricted(NewGreedy(), 1)
+	u := chainSystem(t, 4, 4, 3, 2, 1)
+	err := mm.Check(g, u, 4)
+	if err == nil {
+		t.Fatal("restricted greedy passed the matching check")
+	}
+	var violation *mm.ViolationError
+	if !errors.As(err, &violation) {
+		t.Fatalf("error is %T, want *mm.ViolationError", err)
+	}
+	if violation.Property != mm.M2 && violation.Property != mm.M3 {
+		t.Errorf("violated property = %v, want M2 or M3", violation.Property)
+	}
+}
+
+func TestUnmatchedViolatesM3(t *testing.T) {
+	err := mm.Check(Unmatched{}, colsys.Full(3), 1)
+	var violation *mm.ViolationError
+	if !errors.As(err, &violation) {
+		t.Fatalf("err = %v, want *mm.ViolationError", err)
+	}
+	if violation.Property != mm.M3 {
+		t.Errorf("property = %v, want M3", violation.Property)
+	}
+}
+
+func TestFirstColorViolatesM2(t *testing.T) {
+	// On the chain 1·2 the node "1" outputs 1 (towards e) but also "1·2"'s
+	// partner logic breaks: node 1 prefers colour 1, node 1·2 prefers 2,
+	// so the edge {1, 1·2} is claimed by 1·2 but not reciprocated.
+	sys := chainSystem(t, 3, 1, 2)
+	err := mm.Check(FirstColor{}, sys, 2)
+	var violation *mm.ViolationError
+	if !errors.As(err, &violation) {
+		t.Fatalf("err = %v, want *mm.ViolationError", err)
+	}
+	if violation.Property != mm.M2 {
+		t.Errorf("property = %v, want M2", violation.Property)
+	}
+}
+
+func TestGreedyConcurrentEval(t *testing.T) {
+	g := NewGreedy()
+	sys := colsys.Full(4)
+	nodes := colsys.Nodes(sys, 3)
+	want := make([]mm.Output, len(nodes))
+	for i, w := range nodes {
+		want[i] = g.Eval(sys, w)
+	}
+	var wg sync.WaitGroup
+	for gor := 0; gor < 8; gor++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			fresh := NewGreedy()
+			for i := 0; i < 200; i++ {
+				j := rng.Intn(len(nodes))
+				if got := fresh.Eval(sys, nodes[j]); got != want[j] {
+					t.Errorf("concurrent Eval(%v) = %v, want %v", nodes[j], got, want[j])
+					return
+				}
+			}
+		}(int64(gor))
+	}
+	wg.Wait()
+}
+
+func TestMatchingCollection(t *testing.T) {
+	g := NewGreedy()
+	u := chainSystem(t, 4, 4, 3, 2, 1)
+	edges := mm.Matching(g, u, 4)
+	// On the chain e −4− 4 −3− 4·3 −2− 4·3·2 −1− 4·3·2·1 greedy matches
+	// colour 1 {4·3·2, 4·3·2·1} and colour 3 {4, 4·3}.
+	var colors []int
+	for _, e := range edges {
+		colors = append(colors, int(e.Color))
+	}
+	sort.Ints(colors)
+	if len(colors) != 2 || colors[0] != 1 || colors[1] != 3 {
+		t.Errorf("matched colours %v, want [1 3]", colors)
+	}
+}
+
+func TestGreedyNamesAndRunningTime(t *testing.T) {
+	g := NewGreedy()
+	if g.Name() != "greedy" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	if g.RunningTime(7) != 6 {
+		t.Errorf("RunningTime(7) = %d", g.RunningTime(7))
+	}
+	loc := NewLocalized(g)
+	if loc.RunningTime(7) != 6 {
+		t.Errorf("localized RunningTime(7) = %d", loc.RunningTime(7))
+	}
+	res := NewRestricted(g, 2)
+	if res.RunningTime(7) != 2 {
+		t.Errorf("restricted RunningTime = %d", res.RunningTime(7))
+	}
+	for _, a := range []mm.Algorithm{loc, res, Unmatched{}, FirstColor{}} {
+		if a.Name() == "" {
+			t.Error("empty algorithm name")
+		}
+	}
+}
+
+func BenchmarkGreedyEvalFull(b *testing.B) {
+	sys := colsys.Full(6)
+	nodes := colsys.Nodes(sys, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGreedy() // fresh memo each iteration: measures the recursion
+		g.Eval(sys, nodes[i%len(nodes)])
+	}
+}
+
+func BenchmarkGreedyEvalMemoised(b *testing.B) {
+	sys := colsys.Full(6)
+	nodes := colsys.Nodes(sys, 3)
+	g := NewGreedy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Eval(sys, nodes[i%len(nodes)])
+	}
+}

@@ -1,0 +1,87 @@
+package colsys
+
+import (
+	"fmt"
+
+	"repro/internal/group"
+)
+
+// Path is the bi-infinite 2-regular colour system whose tree Γ_k(V) is a
+// two-way infinite path through e: walking "right" from e crosses edges
+// with the periodic colour sequence right[0], right[1], …, and walking
+// "left" crosses left[0], left[1], …. Paths are the 2-templates of the
+// paper's Figures 4 and 5.
+type Path struct {
+	k     int
+	right []group.Color
+	left  []group.Color
+}
+
+var _ System = (*Path)(nil)
+
+// NewPath builds the bi-infinite path system. Both colour sequences repeat
+// cyclically and must be properly coloured: consecutive colours (cyclically)
+// must differ within each sequence, and the two first colours must differ
+// (they meet at e).
+func NewPath(k int, right, left []group.Color) (*Path, error) {
+	if len(right) == 0 || len(left) == 0 {
+		return nil, fmt.Errorf("colsys: path needs non-empty colour cycles")
+	}
+	for _, seq := range [][]group.Color{right, left} {
+		for i, c := range seq {
+			if !c.Valid(k) {
+				return nil, fmt.Errorf("colsys: path colour %v outside 1…%d", c, k)
+			}
+			if seq[(i+1)%len(seq)] == c && len(seq) > 1 {
+				return nil, fmt.Errorf("colsys: path cycle has equal consecutive colours at %d", i)
+			}
+		}
+		if len(seq) == 1 {
+			return nil, fmt.Errorf("colsys: colour cycle of length 1 repeats its colour")
+		}
+	}
+	if right[0] == left[0] {
+		return nil, fmt.Errorf("colsys: both directions start with colour %v", right[0])
+	}
+	return &Path{
+		k:     k,
+		right: append([]group.Color(nil), right...),
+		left:  append([]group.Color(nil), left...),
+	}, nil
+}
+
+// K returns the number of colours.
+func (p *Path) K() int { return p.k }
+
+// Contains reports whether w lies on the path: w must spell a prefix of one
+// of the two periodic colour sequences.
+func (p *Path) Contains(w group.Word) bool {
+	if w.IsIdentity() {
+		return true
+	}
+	return p.follows(w, p.right) || p.follows(w, p.left)
+}
+
+func (p *Path) follows(w group.Word, seq []group.Color) bool {
+	for i := 0; i < w.Norm(); i++ {
+		if w.At(i) != seq[i%len(seq)] {
+			return false
+		}
+	}
+	return true
+}
+
+// Side reports which side of the path w lies on: +1 for right, −1 for left,
+// 0 for e or for non-members.
+func (p *Path) Side(w group.Word) int {
+	switch {
+	case w.IsIdentity():
+		return 0
+	case p.follows(w, p.right):
+		return 1
+	case p.follows(w, p.left):
+		return -1
+	default:
+		return 0
+	}
+}

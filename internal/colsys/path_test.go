@@ -1,0 +1,91 @@
+package colsys
+
+import (
+	"testing"
+
+	"repro/internal/group"
+)
+
+func TestNewPathValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		k       int
+		right   []group.Color
+		left    []group.Color
+		wantErr bool
+	}{
+		{"valid alternating", 3, []group.Color{1, 2}, []group.Color{2, 1}, false},
+		{"valid longer cycles", 5, []group.Color{1, 2, 3, 4}, []group.Color{2, 1, 4, 3}, false},
+		{"empty right", 3, nil, []group.Color{1, 2}, true},
+		{"empty left", 3, []group.Color{1, 2}, nil, true},
+		{"colour out of range", 3, []group.Color{1, 4}, []group.Color{2, 1}, true},
+		{"adjacent repeat", 3, []group.Color{1, 1, 2}, []group.Color{2, 1}, true},
+		{"cyclic repeat", 3, []group.Color{1, 2, 1}, []group.Color{2, 1}, true},
+		{"same first colours", 3, []group.Color{1, 2}, []group.Color{1, 3}, true},
+		{"singleton cycle", 3, []group.Color{1}, []group.Color{2, 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewPath(tt.k, tt.right, tt.left)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPathMembershipAndSides(t *testing.T) {
+	p, err := NewPath(4, []group.Color{1, 2, 3}, []group.Color{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 4 {
+		t.Fatalf("K = %d", p.K())
+	}
+	member := []string{"e", "1", "1·2", "1·2·3", "1·2·3·1", "4", "4·3", "4·3·4"}
+	for _, s := range member {
+		w, err := group.Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Contains(w) {
+			t.Errorf("path missing %s", s)
+		}
+	}
+	nonMember := []string{"2", "3", "1·3", "4·1", "1·2·1", "4·3·2"}
+	for _, s := range nonMember {
+		w, err := group.Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Contains(w) {
+			t.Errorf("path contains %s", s)
+		}
+	}
+
+	// Side: +1 right, −1 left, 0 at e.
+	sides := map[string]int{"e": 0, "1": 1, "1·2": 1, "4": -1, "4·3": -1}
+	for s, want := range sides {
+		w, _ := group.Parse(s)
+		if got := p.Side(w); got != want {
+			t.Errorf("Side(%s) = %d, want %d", s, got, want)
+		}
+	}
+
+	if err := CheckValid(p, 4); err != nil {
+		t.Errorf("path invalid: %v", err)
+	}
+	if !IsRegular(p, 2, 5) {
+		t.Error("path is not 2-regular")
+	}
+}
+
+func TestFiniteString(t *testing.T) {
+	f, err := ParseFinite(3, "e, 2, 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.String(); got != "{e, 1, 2}" {
+		t.Errorf("String() = %q", got)
+	}
+}

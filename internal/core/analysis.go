@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/colsys"
+	"repro/internal/group"
+)
+
+// PartitionStats quantifies the Lemma 12 parity argument for one inductive
+// step: the matched edges of M(K, K1, κ) and M(L, L1, λ) that are "near"
+// (an endpoint within norm r+1) induce finite endpoint sets K2 and L2 with
+// |K2| even and |L2| odd — so K2 ∪ L2 cannot be perfectly matched and an
+// unmatched witness y must exist among its nodes.
+type PartitionStats struct {
+	H   int         // level of the input pair
+	Chi group.Color // χ of the step
+
+	K2, L2 []group.Word // endpoint sets of the near matched edges (+χ for L2)
+
+	// Witness is the shortlex-first unmatched node of X and WitnessNorm its
+	// norm; the parity argument guarantees WitnessNorm ≤ r+2.
+	Witness     group.Word
+	WitnessNorm int
+}
+
+// K2Even reports the Lemma 12 parity of K2.
+func (s *PartitionStats) K2Even() bool { return len(s.K2)%2 == 0 }
+
+// L2Odd reports the Lemma 12 parity of L2.
+func (s *PartitionStats) L2Odd() bool { return len(s.L2)%2 == 1 }
+
+// AnalyzeInductive rebuilds the §3.9 intermediates for a step from the
+// given h-critical pair and verifies the Lemma 12 counting argument
+// explicitly: it enumerates the near matched edges on both sides, checks
+// the parities, and locates the witness. It is independent of Inductive —
+// experiments use it to *demonstrate* the proof, not only to run it.
+func (a *Adversary) AnalyzeInductive(prev *Pair) (*PartitionStats, error) {
+	if prev.H >= a.d {
+		return nil, fmt.Errorf("core: analysis requires h < d = %d, got h = %d", a.d, prev.H)
+	}
+	parts, err := a.buildStep(prev)
+	if err != nil {
+		return nil, err
+	}
+	r := a.alg.RunningTime(a.k)
+	chiWord := group.Word{parts.chi}
+
+	stats := &PartitionStats{H: prev.H, Chi: parts.chi}
+
+	// K2: endpoints of near edges of M(K, K1, κ). A matched K-edge lies
+	// entirely inside or outside K1 because {e, χ} ∉ M(K, κ); enumerating
+	// K1-nodes of norm ≤ r+1 and their matched partners covers every near
+	// edge.
+	k1 := colsys.Prune(parts.kExt, parts.chi)
+	k2set := make(map[string]group.Word)
+	var k12err error
+	colsys.Walk(k1, r+1, func(w group.Word) bool {
+		out := a.EvalTemplate(parts.kappa, w)
+		if !out.IsMatched() {
+			k12err = fmt.Errorf("core: M(K, κ) is not perfect at %v", w)
+			return false
+		}
+		partner := w.Append(out.Color)
+		if back := a.EvalTemplate(parts.kappa, partner); back != out {
+			k12err = fmt.Errorf("core: M(K, κ) not mutual at %v", w)
+			return false
+		}
+		if !k1.Contains(partner) {
+			// The matched edge leaves K1 — impossible per Lemma 12 unless
+			// it is {e, χ}, which is never in M(K, κ).
+			k12err = fmt.Errorf("core: matched K-edge {%v, %v} crosses K1", w, partner)
+			return false
+		}
+		k2set[w.Key()] = w.Clone()
+		k2set[partner.Key()] = partner.Clone()
+		return true
+	})
+	if k12err != nil {
+		return nil, k12err
+	}
+
+	// L2: endpoints of near edges of M(L, L1, λ), plus χ (whose partner in
+	// M(L, λ) is e, outside L1).
+	l1 := colsys.Translate(colsys.Prune(colsys.Translate(parts.lExt, chiWord), parts.chi), chiWord)
+	l2set := make(map[string]group.Word)
+	l2set[chiWord.Key()] = chiWord
+	var l12err error
+	colsys.Walk(l1, r+1, func(w group.Word) bool {
+		out := a.EvalTemplate(parts.lambda, w)
+		if !out.IsMatched() {
+			l12err = fmt.Errorf("core: M(L, λ) is not perfect at %v", w)
+			return false
+		}
+		partner := w.Append(out.Color)
+		if w.Equal(chiWord) && partner.IsIdentity() {
+			// {e, χ} ∈ M(L, λ): the unique edge joining L1 and L \ L1.
+			return true
+		}
+		if !l1.Contains(partner) {
+			l12err = fmt.Errorf("core: matched L-edge {%v, %v} crosses L1", w, partner)
+			return false
+		}
+		l2set[w.Key()] = w.Clone()
+		l2set[partner.Key()] = partner.Clone()
+		return true
+	})
+	if l12err != nil {
+		return nil, l12err
+	}
+
+	for _, w := range k2set {
+		stats.K2 = append(stats.K2, w)
+	}
+	for _, w := range l2set {
+		stats.L2 = append(stats.L2, w)
+	}
+	sortWords(stats.K2)
+	sortWords(stats.L2)
+
+	y, found := a.findUnmatched(parts.xTpl)
+	if !found {
+		return nil, fmt.Errorf("core: no witness within norm %d despite parities %d/%d",
+			a.searchLimit, len(stats.K2), len(stats.L2))
+	}
+	stats.Witness = y
+	stats.WitnessNorm = y.Norm()
+	return stats, nil
+}
+
+// sortWords sorts words in shortlex order.
+func sortWords(words []group.Word) {
+	for i := 1; i < len(words); i++ {
+		for j := i; j > 0 && group.Less(words[j], words[j-1]); j-- {
+			words[j], words[j-1] = words[j-1], words[j]
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/colsys"
+	"repro/internal/group"
+)
+
+func TestAnalyzeInductiveParity(t *testing.T) {
+	// The Lemma 12 counting argument, demonstrated level by level: the
+	// near matched edges induce an even K2 and an odd L2, forcing an
+	// unmatched witness within the search window.
+	for k := 3; k <= 5; k++ {
+		adv := newAdversary(t, algo.NewGreedy(), k)
+		pair, err := adv.BaseCase()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pair.H < k-1 {
+			stats, err := adv.AnalyzeInductive(pair)
+			if err != nil {
+				t.Fatalf("k=%d h=%d: %v", k, pair.H, err)
+			}
+			if !stats.K2Even() {
+				t.Errorf("k=%d h=%d: |K2| = %d odd", k, pair.H, len(stats.K2))
+			}
+			if !stats.L2Odd() {
+				t.Errorf("k=%d h=%d: |L2| = %d even", k, pair.H, len(stats.L2))
+			}
+			if stats.WitnessNorm > adv.alg.RunningTime(k)+2 {
+				t.Errorf("k=%d h=%d: witness norm %d beyond r+2", k, pair.H, stats.WitnessNorm)
+			}
+			// χ always belongs to L2.
+			foundChi := false
+			for _, w := range stats.L2 {
+				if w.Equal(group.Word{stats.Chi}) {
+					foundChi = true
+				}
+			}
+			if !foundChi {
+				t.Errorf("k=%d h=%d: χ ∉ L2", k, pair.H)
+			}
+			pair, err = adv.Inductive(pair)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestAnalyzeRejectsLevelD(t *testing.T) {
+	adv := newAdversary(t, algo.NewGreedy(), 3)
+	res, err := adv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Pairs[len(res.Pairs)-1]
+	if _, err := adv.AnalyzeInductive(last); err == nil {
+		t.Error("analysis at h = d accepted")
+	}
+}
+
+func TestTournamentAllGreedyOrders(t *testing.T) {
+	// Theorem 5 is algorithm-independent: every one of the 4! = 24 colour
+	// orders of the greedy family at k = 4 is defeated with a verified
+	// critical pair.
+	k := 4
+	perms := permutations([]group.Color{1, 2, 3, 4})
+	if len(perms) != 24 {
+		t.Fatalf("%d permutations", len(perms))
+	}
+	for _, order := range perms {
+		g, err := algo.NewGreedyOrder(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adv := newAdversary(t, g, k)
+		res, err := adv.Run()
+		if err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+		if err := res.Verify(adv); err != nil {
+			t.Errorf("order %v: %v", order, err)
+		}
+	}
+}
+
+func TestAdversaryVsLocalizedGreedy(t *testing.T) {
+	// The adversary also defeats the ball-materialising implementation of
+	// greedy — evidence that it treats algorithms as black-box view
+	// functions, not as a structure it can peek into. (k = 3 keeps the
+	// materialised balls small.)
+	alg := algo.NewLocalized(algo.NewGreedy())
+	adv := newAdversary(t, alg, 3)
+	res, err := adv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(adv); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorollary2EqualProjectionsEqualOutputs(t *testing.T) {
+	// Corollary 2: on a realisation, nodes with equal projections have
+	// equal outputs. Checked on the base-case S1 against greedy.
+	adv := newAdversary(t, algo.NewGreedy(), 4)
+	pair, err := adv.BaseCase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := adv.Realisation(pair.S)
+	byProj := make(map[string]group.Word)
+	for _, w := range colsys.Nodes(re, 3) {
+		proj, ok := re.Project(w)
+		if !ok {
+			t.Fatalf("%v has no projection", w)
+		}
+		if prev, seen := byProj[proj.Key()]; seen {
+			a := adv.alg.Eval(re, prev)
+			b := adv.alg.Eval(re, w)
+			if a != b {
+				t.Fatalf("p(%v) = p(%v) = %v but outputs %v ≠ %v", prev, w, proj, a, b)
+			}
+		} else {
+			byProj[proj.Key()] = w
+		}
+	}
+}
+
+func permutations(items []group.Color) [][]group.Color {
+	if len(items) <= 1 {
+		return [][]group.Color{append([]group.Color(nil), items...)}
+	}
+	var out [][]group.Color
+	for i := range items {
+		rest := make([]group.Color, 0, len(items)-1)
+		rest = append(rest, items[:i]...)
+		rest = append(rest, items[i+1:]...)
+		for _, p := range permutations(rest) {
+			out = append(out, append([]group.Color{items[i]}, p...))
+		}
+	}
+	return out
+}

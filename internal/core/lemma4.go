@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/colsys"
+	"repro/internal/group"
+	"repro/internal/mm"
+)
+
+// TwoColorWitness is the k = 2 lower-bound witness of Lemma 4: two colour
+// systems and nodes whose radius-1 views coincide but on which the
+// algorithm answers differently — so at least one communication round
+// (k − 1 = 1) is required.
+type TwoColorWitness struct {
+	// SysA and SysB are the two 2-colour systems.
+	SysA, SysB colsys.System
+	// NodeA ∈ SysA and NodeB ∈ SysB have (n̄A·A)[1] = (n̄B·B)[1].
+	NodeA, NodeB group.Word
+	// OutA ≠ OutB are the algorithm's outputs at the two nodes.
+	OutA, OutB mm.Output
+}
+
+// LemmaFour executes the k = 2 case of Lemma 4 against alg: it evaluates
+// the algorithm on the three 2-colour systems T = {e, 1}, U = {e, 2} and
+// V = {e, 1, 2} of the paper's proof and extracts a pair of radius-1
+// indistinguishable nodes with different outputs. If the algorithm is not
+// a correct maximal-matching algorithm on these systems, an
+// *IncorrectnessError is returned instead.
+//
+// (The k = 1 case is trivial — the lower bound is 0 rounds — and has no
+// witness to construct.)
+func LemmaFour(alg mm.Algorithm) (*TwoColorWitness, error) {
+	tSys, err := colsys.ParseFinite(2, "e, 1")
+	if err != nil {
+		return nil, err
+	}
+	uSys, err := colsys.ParseFinite(2, "e, 2")
+	if err != nil {
+		return nil, err
+	}
+	vSys, err := colsys.ParseFinite(2, "e, 1, 2")
+	if err != nil {
+		return nil, err
+	}
+
+	// In T the single edge {e, 1} must be matched: A(T, 1) = 1 for every
+	// correct algorithm. Likewise A(U, 2) = 2.
+	for _, probe := range []struct {
+		sys  colsys.System
+		node group.Word
+		want mm.Output
+	}{
+		{tSys, group.Word{1}, mm.Matched(1)},
+		{uSys, group.Word{2}, mm.Matched(2)},
+	} {
+		if got := alg.Eval(probe.sys, probe.node); got != probe.want {
+			return nil, incorrectOn(alg, "lemma4", probe.sys, probe.node,
+				fmt.Sprintf("A at %v = %v, but maximality forces %v", probe.node, got, probe.want))
+		}
+	}
+
+	// In V node e cannot be matched with both neighbours, so at least one
+	// of A(V, 1) = 1, A(V, 2) = 2 must fail — yielding the witness.
+	out1 := alg.Eval(vSys, group.Word{1})
+	out2 := alg.Eval(vSys, group.Word{2})
+	switch {
+	case out1 != mm.Matched(1):
+		return &TwoColorWitness{
+			SysA: tSys, SysB: vSys,
+			NodeA: group.Word{1}, NodeB: group.Word{1},
+			OutA: mm.Matched(1), OutB: out1,
+		}, nil
+	case out2 != mm.Matched(2):
+		return &TwoColorWitness{
+			SysA: uSys, SysB: vSys,
+			NodeA: group.Word{2}, NodeB: group.Word{2},
+			OutA: mm.Matched(2), OutB: out2,
+		}, nil
+	default:
+		// Both neighbours claim e; property (M2) breaks at e.
+		return nil, incorrectOn(alg, "lemma4", vSys, group.Identity(),
+			"both neighbours of e output their edge colour; e can reciprocate at most one")
+	}
+}
+
+// Verify checks the witness invariants: both nodes are members, the
+// radius-1 views coincide, the recorded outputs are reproducible, and they
+// differ.
+func (w *TwoColorWitness) Verify(alg mm.Algorithm) error {
+	ballA, err := colsys.Ball(w.SysA, w.NodeA, 1)
+	if err != nil {
+		return fmt.Errorf("core: lemma4 witness: %w", err)
+	}
+	ballB, err := colsys.Ball(w.SysB, w.NodeB, 1)
+	if err != nil {
+		return fmt.Errorf("core: lemma4 witness: %w", err)
+	}
+	if !colsys.EqualUpTo(ballA, ballB, 2) {
+		return fmt.Errorf("core: lemma4 witness: radius-1 views differ")
+	}
+	if got := alg.Eval(w.SysA, w.NodeA); got != w.OutA {
+		return fmt.Errorf("core: lemma4 witness: output A changed: %v vs %v", got, w.OutA)
+	}
+	if got := alg.Eval(w.SysB, w.NodeB); got != w.OutB {
+		return fmt.Errorf("core: lemma4 witness: output B changed: %v vs %v", got, w.OutB)
+	}
+	if w.OutA == w.OutB {
+		return fmt.Errorf("core: lemma4 witness: outputs equal (%v)", w.OutA)
+	}
+	return nil
+}
+
+// incorrectOn is the standalone analogue of Adversary.incorrect for
+// functions that do not carry an Adversary.
+func incorrectOn(alg mm.Algorithm, stage string, sys colsys.System, near group.Word, detail string) error {
+	e := &IncorrectnessError{Algorithm: alg.Name(), Stage: stage, System: sys, Detail: detail}
+	eval := func(w group.Word) mm.Output { return alg.Eval(sys, w) }
+	if err := mm.CheckNode(eval, sys, near); err != nil {
+		if v, ok := err.(*mm.ViolationError); ok {
+			e.Evidence = v
+		}
+	}
+	return e
+}

@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/group"
+	"repro/internal/mm"
+)
+
+func TestDOTOutput(t *testing.T) {
+	g, err := PathGraph(3, []group.Color{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := SequentialGreedy(g, nil)
+	var buf bytes.Buffer
+	if err := g.DOT(&buf, nil, MatchingEdges(g, outs)); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	for _, want := range []string{
+		"graph G {",
+		"n0 -- n1",
+		"n1 -- n2",
+		"label=\"1\"",
+		"label=\"2\"",
+		"style=bold", // the matched colour-1 edge is highlighted
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Exactly one bold edge: the single matched edge.
+	if got := strings.Count(dot, "style=bold"); got != 1 {
+		t.Errorf("%d bold edges, want 1", got)
+	}
+}
+
+func TestDOTCustomLabels(t *testing.T) {
+	g, err := PathGraph(2, []group.Color{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	labels := []string{"e", "1"}
+	if err := g.DOT(&buf, func(v int) string { return labels[v] }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `label="e"`) {
+		t.Errorf("custom label missing:\n%s", buf.String())
+	}
+	_ = mm.Bottom
+}

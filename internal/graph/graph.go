@@ -1,0 +1,548 @@
+// Package graph implements finite, properly edge-coloured graphs: the
+// concrete problem instances of Hirvonen & Suomela (PODC 2012, §1.2).
+//
+// A proper k-edge-colouring assigns each edge a colour 1…k such that no two
+// edges sharing an endpoint have the same colour. Such graphs are both the
+// inputs and the communication topology of the distributed algorithms in
+// this repository: nodes are anonymous, and a node refers to its incident
+// edges by their colours.
+//
+// The package provides generators for the paper's instances (the Figure 1
+// example, the §1.2 worst-case paths, unions of random matchings, windows
+// of Cayley-graph trees) and validators for matchings and colourings. The
+// View function bridges to the view world: the radius-h universal-cover
+// view of a node in a properly coloured graph is exactly a finite colour
+// system, because non-backtracking walks are reduced colour words.
+package graph
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"repro/internal/colsys"
+	"repro/internal/group"
+	"repro/internal/mm"
+)
+
+// Half is one endpoint's description of an incident edge: the neighbour at
+// the far end and the edge colour.
+type Half struct {
+	Peer  int
+	Color group.Color
+}
+
+// Edge is an undirected coloured edge with U < V.
+type Edge struct {
+	U, V  int
+	Color group.Color
+}
+
+// Graph is a finite simple graph with a proper k-edge-colouring. The zero
+// value is not usable; construct with New.
+type Graph struct {
+	k   int
+	adj []map[group.Color]int // adj[v][c] = peer behind colour c at v
+}
+
+// New returns an empty graph with n nodes (numbered 0…n−1) and colour
+// palette 1…k.
+func New(n, k int) *Graph {
+	adj := make([]map[group.Color]int, n)
+	for i := range adj {
+		adj[i] = make(map[group.Color]int)
+	}
+	return &Graph{k: k, adj: adj}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// K returns the size of the colour palette.
+func (g *Graph) K() int { return g.k }
+
+// AddEdge inserts the edge {u, v} with colour c. It enforces simplicity and
+// the proper-colouring constraint: the colour must be unused at both
+// endpoints and the edge must not already exist.
+func (g *Graph) AddEdge(u, v int, c group.Color) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return fmt.Errorf("graph: edge {%d, %d} out of range [0, %d)", u, v, len(g.adj))
+	}
+	if !c.Valid(g.k) {
+		return fmt.Errorf("graph: colour %v outside 1…%d", c, g.k)
+	}
+	if _, ok := g.adj[u][c]; ok {
+		return fmt.Errorf("graph: colour %v already used at node %d", c, u)
+	}
+	if _, ok := g.adj[v][c]; ok {
+		return fmt.Errorf("graph: colour %v already used at node %d", c, v)
+	}
+	for c2, peer := range g.adj[u] {
+		if peer == v {
+			return fmt.Errorf("graph: edge {%d, %d} already present with colour %v", u, v, c2)
+		}
+	}
+	g.adj[u][c] = v
+	g.adj[v][c] = u
+	return nil
+}
+
+// Degree returns the degree of node v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns Δ(G).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Neighbor returns the node behind the edge of colour c at v, if any.
+func (g *Graph) Neighbor(v int, c group.Color) (int, bool) {
+	peer, ok := g.adj[v][c]
+	return peer, ok
+}
+
+// Incident returns v's incident halves sorted by colour.
+func (g *Graph) Incident(v int) []Half {
+	out := make([]Half, 0, len(g.adj[v]))
+	for c, peer := range g.adj[v] {
+		out = append(out, Half{Peer: peer, Color: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Color < out[j].Color })
+	return out
+}
+
+// IncidentColors returns the sorted colours incident to v.
+func (g *Graph) IncidentColors(v int) []group.Color {
+	out := make([]group.Color, 0, len(g.adj[v]))
+	for c := range g.adj[v] {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all edges sorted by (U, V).
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for u := range g.adj {
+		for c, v := range g.adj[u] {
+			if u < v {
+				out = append(out, Edge{U: u, V: v, Color: c})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for v := range g.adj {
+		total += len(g.adj[v])
+	}
+	return total / 2
+}
+
+// Validate re-checks the structural invariants (symmetry and proper
+// colouring). AddEdge maintains them; Validate guards against direct
+// manipulation in tests.
+func (g *Graph) Validate() error {
+	for u := range g.adj {
+		seen := make(map[int]bool, len(g.adj[u]))
+		for c, v := range g.adj[u] {
+			if !c.Valid(g.k) {
+				return fmt.Errorf("graph: node %d has colour %v outside palette", u, c)
+			}
+			if peer, ok := g.adj[v][c]; !ok || peer != u {
+				return fmt.Errorf("graph: edge {%d, %d} colour %v not symmetric", u, v, c)
+			}
+			if seen[v] {
+				return fmt.Errorf("graph: parallel edges between %d and %d", u, v)
+			}
+			seen[v] = true
+		}
+	}
+	return nil
+}
+
+// View returns the radius-h view of node v: the ball of radius h in the
+// universal cover of g rooted at v, encoded as a finite colour system. In a
+// properly edge-coloured graph a non-backtracking walk never repeats a
+// colour twice in a row, so walks correspond exactly to reduced words.
+func (g *Graph) View(v, h int) (*colsys.Finite, error) {
+	if v < 0 || v >= len(g.adj) {
+		return nil, fmt.Errorf("graph: view centre %d out of range", v)
+	}
+	type state struct {
+		word group.Word
+		node int
+	}
+	var words []group.Word
+	frontier := []state{{word: group.Identity(), node: v}}
+	for depth := 0; depth < h; depth++ {
+		var next []state
+		for _, s := range frontier {
+			for c, peer := range g.adj[s.node] {
+				if c == s.word.Tail() {
+					continue // backtracking: same edge colour returns along the same edge
+				}
+				w := s.word.Append(c)
+				words = append(words, w)
+				next = append(next, state{word: w, node: peer})
+			}
+		}
+		frontier = next
+	}
+	return colsys.NewFinite(g.k, words)
+}
+
+// NodeAt follows the reduced word w from node v and returns the node
+// reached, or false if the walk leaves the graph. It is the covering map
+// complementing View.
+func (g *Graph) NodeAt(v int, w group.Word) (int, bool) {
+	cur := v
+	for i := 0; i < w.Norm(); i++ {
+		peer, ok := g.adj[cur][w.At(i)]
+		if !ok {
+			return 0, false
+		}
+		cur = peer
+	}
+	return cur, true
+}
+
+// --- Matching validation ----------------------------------------------------
+
+// MatchingError reports a violation of the finite-graph analogue of
+// (M1)–(M3) at a specific node.
+type MatchingError struct {
+	Property mm.Property
+	Node     int
+	Output   mm.Output
+	Detail   string
+}
+
+// Error implements the error interface.
+func (e *MatchingError) Error() string {
+	return fmt.Sprintf("graph: property %s violated at node %d (output %v): %s",
+		e.Property, e.Node, e.Output, e.Detail)
+}
+
+// CheckMatching verifies the finite-graph analogue of (M1)–(M3) for a full
+// output assignment: outs[v] is ⊥ or an incident colour (M1), matched
+// outputs are mutual (M2), and no two adjacent nodes are both unmatched
+// (M3 / maximality).
+func CheckMatching(g *Graph, outs []mm.Output) error {
+	if len(outs) != g.N() {
+		return fmt.Errorf("graph: %d outputs for %d nodes", len(outs), g.N())
+	}
+	for v, out := range outs {
+		if !out.IsMatched() {
+			for c, peer := range g.adj[v] {
+				if !outs[peer].IsMatched() {
+					return &MatchingError{
+						Property: mm.M3, Node: v, Output: out,
+						Detail: fmt.Sprintf("nodes %d and %d are adjacent (colour %v) and both unmatched",
+							v, peer, c),
+					}
+				}
+			}
+			continue
+		}
+		peer, ok := g.adj[v][out.Color]
+		if !ok {
+			return &MatchingError{
+				Property: mm.M1, Node: v, Output: out,
+				Detail: fmt.Sprintf("node %d outputs colour %v with no such incident edge", v, out.Color),
+			}
+		}
+		if outs[peer] != out {
+			return &MatchingError{
+				Property: mm.M2, Node: v, Output: out,
+				Detail: fmt.Sprintf("node %d outputs %v but neighbour %d outputs %v",
+					v, out, peer, outs[peer]),
+			}
+		}
+	}
+	return nil
+}
+
+// MatchingEdges extracts the matched edge set from an output assignment.
+func MatchingEdges(g *Graph, outs []mm.Output) []Edge {
+	var edges []Edge
+	for v, out := range outs {
+		if !out.IsMatched() {
+			continue
+		}
+		peer, ok := g.adj[v][out.Color]
+		if !ok || v > peer || outs[peer] != out {
+			continue
+		}
+		edges = append(edges, Edge{U: v, V: peer, Color: out.Color})
+	}
+	return edges
+}
+
+// SequentialGreedy runs the global greedy process (§1.2) on g: colour
+// classes in the given order (nil = 1…k), matching each edge whose
+// endpoints are both free. It is the reference implementation for the
+// distributed variants.
+func SequentialGreedy(g *Graph, order []group.Color) []mm.Output {
+	if order == nil {
+		order = make([]group.Color, g.k)
+		for i := range order {
+			order[i] = group.Color(i + 1)
+		}
+	}
+	outs := make([]mm.Output, g.N())
+	for _, c := range order {
+		for _, e := range g.Edges() {
+			if e.Color != c {
+				continue
+			}
+			if !outs[e.U].IsMatched() && !outs[e.V].IsMatched() {
+				outs[e.U] = mm.Matched(c)
+				outs[e.V] = mm.Matched(c)
+			}
+		}
+	}
+	return outs
+}
+
+// --- Generators -------------------------------------------------------------
+
+// PathGraph builds the path v0 − v1 − … − v_len with the given edge
+// colours (len(colors) edges, len(colors)+1 nodes).
+func PathGraph(k int, colors []group.Color) (*Graph, error) {
+	g := New(len(colors)+1, k)
+	for i, c := range colors {
+		if err := g.AddEdge(i, i+1, c); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// CycleGraph builds a cycle with the given edge colours; colors[i] joins
+// node i and node i+1 mod n.
+func CycleGraph(k int, colors []group.Color) (*Graph, error) {
+	n := len(colors)
+	if n < 3 {
+		return nil, fmt.Errorf("graph: cycle needs ≥ 3 edges, got %d", n)
+	}
+	g := New(n, k)
+	for i, c := range colors {
+		if err := g.AddEdge(i, (i+1)%n, c); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// WorstCase is the §1.2 lower-bound example for the greedy algorithm: two
+// path components whose distinguished endpoints U and V have identical
+// radius-(k−1) views, yet greedy matches exactly one of them.
+type WorstCase struct {
+	G *Graph
+	U int // endpoint of the k-edge path (colours k, k−1, …, 1)
+	V int // endpoint of the (k−1)-edge path (colours k, k−1, …, 2)
+}
+
+// NewWorstCase builds the §1.2 instance for a given k ≥ 2.
+func NewWorstCase(k int) (*WorstCase, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("graph: worst case needs k ≥ 2, got %d", k)
+	}
+	// Component 1: u = node 0, edges k, k−1, …, 1 (k+1 nodes).
+	// Component 2: v = node k+1, edges k, k−1, …, 2 (k nodes).
+	g := New(2*k+1, k)
+	for i := 0; i < k; i++ {
+		if err := g.AddEdge(i, i+1, group.Color(k-i)); err != nil {
+			return nil, err
+		}
+	}
+	base := k + 1
+	for i := 0; i < k-1; i++ {
+		if err := g.AddEdge(base+i, base+i+1, group.Color(k-i)); err != nil {
+			return nil, err
+		}
+	}
+	return &WorstCase{G: g, U: 0, V: base}, nil
+}
+
+// RandomMatchingUnion builds a random properly k-edge-coloured graph on n
+// nodes as a union of k partial random matchings: for each colour, nodes
+// are shuffled and paired with probability density. The result has maximum
+// degree ≤ k and is always properly coloured.
+func RandomMatchingUnion(n, k int, density float64, rng *rand.Rand) *Graph {
+	g := New(n, k)
+	perm := make([]int, n)
+	for c := group.Color(1); int(c) <= k; c++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for i := 0; i+1 < n; i += 2 {
+			if rng.Float64() > density {
+				continue
+			}
+			// Parallel edges are skipped (the colour is still free at both
+			// endpoints, but the pair may already be joined).
+			_ = g.AddEdge(perm[i], perm[i+1], c)
+		}
+	}
+	return g
+}
+
+// RandomRegular builds a random k-regular properly k-edge-coloured graph on
+// n nodes (n even): every colour class is a perfect matching. Colour
+// classes are resampled on conflicts, so the graph is simple; for very
+// small n the attempt may fail and the colour class stays partial.
+func RandomRegular(n, k int, rng *rand.Rand) (*Graph, error) {
+	if n%2 != 0 {
+		return nil, fmt.Errorf("graph: RandomRegular needs even n, got %d", n)
+	}
+	g := New(n, k)
+	perm := make([]int, n)
+	for c := group.Color(1); int(c) <= k; c++ {
+		placed := false
+		for attempt := 0; attempt < 50 && !placed; attempt++ {
+			for i := range perm {
+				perm[i] = i
+			}
+			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			ok := true
+			for i := 0; i+1 < n; i += 2 {
+				for _, v := range g.adj[perm[i]] {
+					if v == perm[i+1] {
+						ok = false
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for i := 0; i+1 < n; i += 2 {
+				if err := g.AddEdge(perm[i], perm[i+1], c); err != nil {
+					return nil, err
+				}
+			}
+			placed = true
+		}
+		if !placed {
+			return nil, fmt.Errorf("graph: could not place colour class %v without parallel edges", c)
+		}
+	}
+	return g, nil
+}
+
+// FromSystem materialises the window Γ_k(V)[radius] of a colour system as a
+// finite graph. It returns the graph together with the node index of each
+// word (keyed by group.Word.Key). Boundary nodes have truncated degrees.
+func FromSystem(v colsys.System, radius int) (*Graph, map[string]int, error) {
+	words := colsys.Nodes(v, radius)
+	index := make(map[string]int, len(words))
+	for i, w := range words {
+		index[w.Key()] = i
+	}
+	g := New(len(words), v.K())
+	for _, w := range words {
+		if w.IsIdentity() {
+			continue
+		}
+		if err := g.AddEdge(index[w.Pred().Key()], index[w.Key()], w.Tail()); err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, index, nil
+}
+
+// Figure1 builds a 16-node, 4-regular, properly 4-edge-coloured instance
+// standing in for the paper's Figure 1 example (the exact drawing cannot be
+// recovered from the text). It is the 4-dimensional hypercube Q4 with
+// colour c joining i and i XOR 2^(c−1): every colour class is a perfect
+// matching, so greedy matches everything in the first round of its colour.
+func Figure1() (*Graph, error) {
+	g := New(16, 4)
+	for c := group.Color(1); c <= 4; c++ {
+		bit := 1 << (int(c) - 1)
+		for i := 0; i < 16; i++ {
+			j := i ^ bit
+			if i < j {
+				if err := g.AddEdge(i, j, c); err != nil {
+					return nil, fmt.Errorf("graph: figure 1: %w", err)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// RandomBoundedDegree builds a random properly coloured graph with maximum
+// degree ≤ delta and colours drawn uniformly from the full palette 1…k:
+// the k ≫ Δ regime of §1.3. It attempts `attempts` random edges, skipping
+// any that would violate the degree bound or the proper colouring.
+func RandomBoundedDegree(n, k, delta, attempts int, rng *rand.Rand) *Graph {
+	g := New(n, k)
+	for i := 0; i < attempts; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v || g.Degree(u) >= delta || g.Degree(v) >= delta {
+			continue
+		}
+		c := group.Color(1 + rng.Intn(k))
+		// AddEdge enforces the remaining constraints; collisions are skipped.
+		_ = g.AddEdge(u, v, c)
+	}
+	return g
+}
+
+// DOT writes the graph in Graphviz format. Edge labels are colours; the
+// optional label function names nodes (nil = numeric ids) and highlight
+// marks a set of edges (e.g. a matching) in bold.
+func (g *Graph) DOT(w io.Writer, label func(v int) string, highlight []Edge) error {
+	marked := make(map[Edge]bool, len(highlight))
+	for _, e := range highlight {
+		marked[Edge{U: e.U, V: e.V, Color: e.Color}] = true
+	}
+	if _, err := fmt.Fprintln(w, "graph G {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  node [shape=circle];")
+	for v := 0; v < g.N(); v++ {
+		name := strconv.Itoa(v)
+		if label != nil {
+			name = label(v)
+		}
+		fmt.Fprintf(w, "  n%d [label=%q];\n", v, name)
+	}
+	for _, e := range g.Edges() {
+		style := ""
+		if marked[e] {
+			style = ", style=bold, penwidth=3"
+		}
+		fmt.Fprintf(w, "  n%d -- n%d [label=\"%d\"%s];\n", e.U, e.V, int(e.Color), style)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

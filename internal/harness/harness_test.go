@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("%s (%s): %v\noutput so far:\n%s", e.ID, e.Paper, err, buf.String())
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Fatalf("%d experiments registered, want 14", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := ByID("E9"); !ok {
+		t.Error("ByID(E9) not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID(E99) found")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll repeats every experiment; skipped with -short")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	out := buf.String()
+	for _, e := range All() {
+		if !strings.Contains(out, "=== "+e.ID+" ") {
+			t.Errorf("banner for %s missing", e.ID)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := NewTable("a", "bb")
+	tbl.AddRow(1, "x")
+	tbl.AddRow(22, "yyy")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	tbl.SortRows(0)
+	var buf2 bytes.Buffer
+	tbl.Render(&buf2)
+	if !strings.Contains(buf2.String(), "1") {
+		t.Error("sorted table lost rows")
+	}
+}

@@ -1,0 +1,183 @@
+// Package mm defines the maximal-matching domain of Hirvonen & Suomela
+// (PODC 2012): local outputs, the abstract notion of a deterministic
+// distributed algorithm on anonymous edge-coloured graphs (§2.3), and the
+// properties (M1)–(M3) that make an output assignment a maximal matching
+// (§2.4).
+//
+// Following §2.3, an algorithm is a function A that associates a local
+// output A(V, v) with every colour system V and node v ∈ V, subject to the
+// locality constraint: if the radius-(r+1) views of two nodes coincide,
+// (ūU)[r+1] = (v̄V)[r+1], then A(U, u) = A(V, v), where r is the running
+// time of the algorithm.
+package mm
+
+import (
+	"fmt"
+
+	"repro/internal/colsys"
+	"repro/internal/group"
+)
+
+// Output is the local output of a node: either ⊥ (unmatched) or the colour
+// of the edge along which the node is matched. The zero value is ⊥.
+type Output struct {
+	// Color is the matched edge colour, or group.None for ⊥.
+	Color group.Color
+}
+
+// Bottom is the unmatched output ⊥.
+var Bottom = Output{}
+
+// Matched returns the output "matched along the edge of colour c".
+func Matched(c group.Color) Output { return Output{Color: c} }
+
+// IsMatched reports whether the output is a matched edge colour (≠ ⊥).
+func (o Output) IsMatched() bool { return o.Color != group.None }
+
+// String renders the output as the paper draws it: "⊥" or the edge colour.
+func (o Output) String() string {
+	if !o.IsMatched() {
+		return "⊥"
+	}
+	return o.Color.String()
+}
+
+// Algorithm is a deterministic distributed algorithm in the sense of §2.3:
+// a function from (colour system, node) to local outputs whose value at v
+// depends only on the view (v̄V)[r+1], with r = RunningTime(k).
+//
+// Eval must be deterministic and safe for concurrent use. Implementations
+// may memoise per colour system; the systems constructed by this repository
+// are comparable values (pointers or small comparable structs), so they can
+// be used as map keys.
+type Algorithm interface {
+	// Name identifies the algorithm in reports and experiment tables.
+	Name() string
+	// RunningTime returns the running time r of the algorithm on
+	// k-edge-coloured instances: the local output at v is a function of
+	// the view (v̄V)[r+1].
+	RunningTime(k int) int
+	// Eval returns A(V, v), the local output of node v ∈ V. Behaviour on
+	// nodes outside V is unspecified.
+	Eval(v colsys.System, at group.Word) Output
+}
+
+// Property identifies one of the maximal-matching properties of §2.4.
+type Property int
+
+// The three properties of §2.4. (M1): outputs are incident colours or ⊥.
+// (M2): matched outputs are mutual. (M3): an unmatched node has no
+// unmatched neighbour.
+const (
+	M1 Property = iota + 1
+	M2
+	M3
+)
+
+// String returns "M1", "M2" or "M3".
+func (p Property) String() string {
+	switch p {
+	case M1:
+		return "M1"
+	case M2:
+		return "M2"
+	case M3:
+		return "M3"
+	default:
+		return fmt.Sprintf("Property(%d)", int(p))
+	}
+}
+
+// ViolationError reports that an output assignment fails one of (M1)–(M3)
+// at a specific node. It is the concrete counterexample produced when an
+// algorithm is *not* a maximal-matching algorithm.
+type ViolationError struct {
+	Property Property
+	Node     group.Word // the violating node v
+	Output   Output     // A(V, v)
+	Neighbor group.Word // for M2/M3: the implicated neighbour
+	Detail   string     // human-readable explanation
+}
+
+// Error implements the error interface.
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("mm: property %s violated at %v (output %v): %s",
+		e.Property, e.Node, e.Output, e.Detail)
+}
+
+// CheckNode verifies properties (M1)–(M3) of §2.4 at a single node v ∈ V
+// for the output function eval. Eval is consulted at v and at its
+// neighbours. A nil return means the node passes all three properties.
+func CheckNode(eval func(group.Word) Output, v colsys.System, at group.Word) error {
+	out := eval(at)
+	// (M1): A(V, v) ∈ C(V, v) + ⊥.
+	if out.IsMatched() && !colsys.HasColor(v, at, out.Color) {
+		return &ViolationError{
+			Property: M1, Node: at.Clone(), Output: out,
+			Detail: fmt.Sprintf("output colour %v not incident to the node", out.Color),
+		}
+	}
+	if out.IsMatched() {
+		// (M2): A(V, v) = c implies vc ∈ V and A(V, vc) = c.
+		partner := at.Append(out.Color)
+		if po := eval(partner); po != out {
+			return &ViolationError{
+				Property: M2, Node: at.Clone(), Output: out, Neighbor: partner,
+				Detail: fmt.Sprintf("partner %v outputs %v, want %v", partner, po, out),
+			}
+		}
+		return nil
+	}
+	// (M3): A(V, v) = ⊥ and c ∈ C(V, v) imply A(V, vc) ≠ ⊥.
+	for _, c := range colsys.Colors(v, at) {
+		nb := at.Append(c)
+		if no := eval(nb); !no.IsMatched() {
+			return &ViolationError{
+				Property: M3, Node: at.Clone(), Output: out, Neighbor: nb,
+				Detail: fmt.Sprintf("unmatched node has unmatched neighbour %v", nb),
+			}
+		}
+	}
+	return nil
+}
+
+// Check verifies (M1)–(M3) for every node of V with norm ≤ maxNorm, using
+// the algorithm a. Neighbours of boundary nodes are evaluated as needed
+// (Eval answers at any norm), so a nil return certifies that the output
+// assignment restricted to the window is part of a valid maximal matching.
+func Check(a Algorithm, v colsys.System, maxNorm int) error {
+	eval := func(w group.Word) Output { return a.Eval(v, w) }
+	var firstErr error
+	colsys.Walk(v, maxNorm, func(w group.Word) bool {
+		if err := CheckNode(eval, v, w); err != nil {
+			firstErr = err
+			return false
+		}
+		return true
+	})
+	return firstErr
+}
+
+// MatchedEdge is an edge both of whose endpoints output its colour.
+type MatchedEdge struct {
+	U, V  group.Word
+	Color group.Color
+}
+
+// Matching collects the matched edges among nodes of norm ≤ maxNorm:
+// the set M = {{u, v} ∈ E(V) : A(V, u) = A(V, v) = ūv} of §3.5 restricted
+// to the window.
+func Matching(a Algorithm, v colsys.System, maxNorm int) []MatchedEdge {
+	var out []MatchedEdge
+	colsys.Walk(v, maxNorm, func(w group.Word) bool {
+		if w.IsIdentity() {
+			return true
+		}
+		c := w.Tail()
+		if a.Eval(v, w) == Matched(c) && a.Eval(v, w.Pred()) == Matched(c) {
+			out = append(out, MatchedEdge{U: w.Pred(), V: w, Color: c})
+		}
+		return true
+	})
+	return out
+}

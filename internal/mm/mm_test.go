@@ -1,0 +1,168 @@
+package mm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/colsys"
+	"repro/internal/group"
+)
+
+func TestOutputBasics(t *testing.T) {
+	if Bottom.IsMatched() {
+		t.Error("Bottom reports matched")
+	}
+	if Bottom.String() != "⊥" {
+		t.Errorf("Bottom.String() = %q", Bottom.String())
+	}
+	m := Matched(3)
+	if !m.IsMatched() || m.Color != 3 {
+		t.Errorf("Matched(3) = %+v", m)
+	}
+	if m.String() != "3" {
+		t.Errorf("Matched(3).String() = %q", m.String())
+	}
+	var zero Output
+	if zero != Bottom {
+		t.Error("zero Output is not ⊥")
+	}
+}
+
+func TestPropertyString(t *testing.T) {
+	tests := []struct {
+		p    Property
+		want string
+	}{
+		{M1, "M1"}, {M2, "M2"}, {M3, "M3"}, {Property(9), "Property(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// tableAlg evaluates outputs from a fixed table keyed by word; useful for
+// exercising the validators without a real algorithm.
+type tableAlg map[string]Output
+
+func (a tableAlg) Name() string                              { return "table" }
+func (a tableAlg) RunningTime(int) int                       { return 0 }
+func (a tableAlg) Eval(_ colsys.System, w group.Word) Output { return a[w.Key()] }
+
+func mustSys(t *testing.T, k int, list string) *colsys.Finite {
+	t.Helper()
+	f, err := colsys.ParseFinite(k, list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestCheckAcceptsFigure3StyleMatching(t *testing.T) {
+	// A path e −1− 1 −2− 1·2 −1− … : match the first edge, leave the tail
+	// node and beyond consistent.
+	sys := mustSys(t, 3, "e, 1, 1·2, 1·2·3")
+	alg := tableAlg{
+		group.Identity().Key():    Matched(1),
+		group.Word{1}.Key():       Matched(1),
+		group.Word{1, 2}.Key():    Matched(3),
+		group.Word{1, 2, 3}.Key(): Matched(3),
+	}
+	if err := Check(alg, sys, 3); err != nil {
+		t.Errorf("valid matching rejected: %v", err)
+	}
+	edges := Matching(alg, sys, 3)
+	if len(edges) != 2 {
+		t.Fatalf("matching = %v, want 2 edges", edges)
+	}
+	if edges[0].Color != 1 || edges[1].Color != 3 {
+		t.Errorf("matching colours = %v, %v", edges[0].Color, edges[1].Color)
+	}
+}
+
+func TestCheckViolations(t *testing.T) {
+	sys := mustSys(t, 3, "e, 1, 1·2")
+	tests := []struct {
+		name string
+		alg  tableAlg
+		prop Property
+	}{
+		{
+			name: "M1: output not incident",
+			alg: tableAlg{
+				group.Identity().Key(): Matched(2),
+			},
+			prop: M1,
+		},
+		{
+			name: "M2: partner disagrees",
+			alg: tableAlg{
+				group.Identity().Key(): Matched(1),
+				group.Word{1}.Key():    Matched(2),
+			},
+			prop: M2,
+		},
+		{
+			name: "M3: unmatched neighbours",
+			alg: tableAlg{
+				group.Identity().Key(): Bottom,
+				group.Word{1}.Key():    Bottom,
+			},
+			prop: M3,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := Check(tt.alg, sys, 2)
+			var v *ViolationError
+			if !errors.As(err, &v) {
+				t.Fatalf("err = %v, want *ViolationError", err)
+			}
+			if v.Property != tt.prop {
+				t.Errorf("property = %v, want %v", v.Property, tt.prop)
+			}
+			if v.Error() == "" {
+				t.Error("empty error message")
+			}
+		})
+	}
+}
+
+func TestCheckNodeM2RequiresMutualColor(t *testing.T) {
+	// Node 1 says "matched along 2" and node 1·2 says "matched along 2":
+	// consistent. But e saying "matched along 1" while 1 says "2" is an
+	// M2 violation at e.
+	sys := mustSys(t, 3, "e, 1, 1·2")
+	alg := tableAlg{
+		group.Identity().Key(): Matched(1),
+		group.Word{1}.Key():    Matched(2),
+		group.Word{1, 2}.Key(): Matched(2),
+	}
+	eval := func(w group.Word) Output { return alg[w.Key()] }
+	err := CheckNode(eval, sys, group.Identity())
+	var v *ViolationError
+	if !errors.As(err, &v) || v.Property != M2 {
+		t.Fatalf("err = %v, want M2 violation", err)
+	}
+	// At node 1 everything is fine.
+	if err := CheckNode(eval, sys, group.Word{1}); err != nil {
+		t.Errorf("CheckNode(1) = %v, want nil", err)
+	}
+}
+
+func TestMatchingWindowRestriction(t *testing.T) {
+	sys := mustSys(t, 3, "e, 1, 1·2, 1·2·3")
+	alg := tableAlg{
+		group.Identity().Key():    Matched(1),
+		group.Word{1}.Key():       Matched(1),
+		group.Word{1, 2}.Key():    Matched(3),
+		group.Word{1, 2, 3}.Key(): Matched(3),
+	}
+	// Norm cap 2 keeps only the colour-1 edge plus the 1·2 → 1·2·3 edge's
+	// shallow endpoint; the matched edge at depth 3 is excluded.
+	edges := Matching(alg, sys, 2)
+	if len(edges) != 1 || edges[0].Color != 1 {
+		t.Errorf("restricted matching = %v", edges)
+	}
+}

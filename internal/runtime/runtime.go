@@ -1,0 +1,311 @@
+// Package runtime implements the synchronous LOCAL execution model of
+// Hirvonen & Suomela (PODC 2012, §1.2) for anonymous, properly
+// edge-coloured graphs.
+//
+// Each node is a computational entity that initially knows only the colours
+// of its incident edges (and the palette size k). In every round each node,
+// in parallel, (1) sends a message along each incident edge, (2) receives a
+// message from each incident edge, and (3) updates its state. After any
+// round — or immediately after initialisation — a node may stop and announce
+// its local output. The running time of an execution is the number of
+// rounds until every node has stopped.
+//
+// Two engines execute the same Machine protocol:
+//
+//   - RunSequential: a deterministic single-goroutine reference engine.
+//   - RunConcurrent: one goroutine per node with a buffered channel per
+//     directed edge. Synchrony is maintained without a global barrier by an
+//     α-synchroniser discipline: every live node sends exactly one frame on
+//     every live edge per round, so receives naturally align rounds. A
+//     halting node sends a final farewell frame; its neighbours thereafter
+//     treat the edge as silent.
+//
+// Both engines must produce identical outputs for deterministic machines;
+// tests verify this.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/group"
+	"repro/internal/mm"
+)
+
+// Message is an opaque message exchanged along an edge. The model allows
+// arbitrarily large messages (the lower bound holds regardless), so any
+// value is permitted; machines define their own concrete types.
+type Message any
+
+// NodeInfo is a node's initial local knowledge: the palette size and its
+// incident edge colours in increasing order. Nodes are anonymous — no
+// identifiers are provided. Label carries optional per-node input (for
+// example the side bit of a 2-coloured/bipartite instance); it is zero
+// unless the run supplies labels.
+type NodeInfo struct {
+	K      int
+	Colors []group.Color
+	Label  int
+}
+
+// Machine is the per-node state machine of a synchronous distributed
+// algorithm. The engine drives it as:
+//
+//	Init(info)                          // time 0; may already halt
+//	for !Halted():
+//	    out := Send()                   // round r begins
+//	    Receive(in)                     // messages from non-halted peers
+//
+// Output must be valid once Halted reports true. Machines are used by a
+// single goroutine and need not be safe for concurrent use.
+type Machine interface {
+	// Init resets the machine with the node's initial knowledge.
+	Init(info NodeInfo)
+	// Send returns this round's outgoing messages keyed by incident edge
+	// colour. Missing keys mean "send nothing" on that edge; receivers see
+	// no entry for that colour.
+	Send() map[group.Color]Message
+	// Receive delivers this round's incoming messages keyed by edge colour
+	// and lets the machine update its state. Edges whose peer has halted
+	// (or sent nothing) have no entry.
+	Receive(in map[group.Color]Message)
+	// Halted reports whether the node has stopped.
+	Halted() bool
+	// Output returns the announced local output; valid once Halted.
+	Output() mm.Output
+}
+
+// Factory creates one fresh Machine per node.
+type Factory func() Machine
+
+// Stats aggregates an execution.
+type Stats struct {
+	// Rounds is the running time: communication rounds until every node
+	// halted (halting at time 0 gives 0 rounds).
+	Rounds int
+	// Messages counts edge-messages delivered over the whole run.
+	Messages int
+	// HaltTimes records, per node, the round after which it halted.
+	HaltTimes []int
+}
+
+// DefaultMaxRounds bounds executions to catch non-terminating protocols.
+func DefaultMaxRounds(g *graph.Graph) int { return 4*g.K() + g.N() + 16 }
+
+// RunSequential executes the protocol with a deterministic single-threaded
+// engine and returns every node's output.
+func RunSequential(g *graph.Graph, factory Factory, maxRounds int) ([]mm.Output, *Stats, error) {
+	return RunSequentialLabeled(g, nil, factory, maxRounds)
+}
+
+// RunSequentialLabeled is RunSequential with per-node input labels (§1.1's
+// "2-coloured graphs" provide the bipartition this way). labels may be nil;
+// otherwise it must have one entry per node.
+func RunSequentialLabeled(g *graph.Graph, labels []int, factory Factory, maxRounds int) ([]mm.Output, *Stats, error) {
+	if err := checkLabels(g, labels); err != nil {
+		return nil, nil, err
+	}
+	n := g.N()
+	machines := make([]Machine, n)
+	halted := make([]bool, n)
+	stats := &Stats{HaltTimes: make([]int, n)}
+	incidents := make([][]graph.Half, n)
+	for v := 0; v < n; v++ {
+		machines[v] = factory()
+		machines[v].Init(NodeInfo{K: g.K(), Colors: g.IncidentColors(v), Label: labelOf(labels, v)})
+		halted[v] = machines[v].Halted()
+		incidents[v] = g.Incident(v)
+	}
+
+	for round := 1; ; round++ {
+		if allTrue(halted) {
+			break
+		}
+		if round > maxRounds {
+			return nil, nil, fmt.Errorf("runtime: no termination within %d rounds", maxRounds)
+		}
+		// Phase 1: all sends, before any receive (synchronous rounds).
+		sends := make([]map[group.Color]Message, n)
+		for v := 0; v < n; v++ {
+			if !halted[v] {
+				sends[v] = machines[v].Send()
+			}
+		}
+		// Phase 2: deliver and update.
+		for v := 0; v < n; v++ {
+			if halted[v] {
+				continue
+			}
+			// The in-map is allocated lazily: nil-map reads are fine for
+			// machines, and most (node, round) pairs receive nothing.
+			var in map[group.Color]Message
+			for _, half := range incidents[v] {
+				if msg, ok := sends[half.Peer][half.Color]; ok {
+					if in == nil {
+						in = make(map[group.Color]Message, len(incidents[v]))
+					}
+					in[half.Color] = msg
+					stats.Messages++
+				}
+			}
+			machines[v].Receive(in)
+			if machines[v].Halted() {
+				halted[v] = true
+				stats.HaltTimes[v] = round
+			}
+		}
+		stats.Rounds = round
+	}
+
+	outs := make([]mm.Output, n)
+	for v := 0; v < n; v++ {
+		outs[v] = machines[v].Output()
+	}
+	return outs, stats, nil
+}
+
+// frame is one per-round unit on a directed edge channel.
+type frame struct {
+	msg      Message
+	hasMsg   bool
+	farewell bool // sender has halted; no further frames will arrive
+}
+
+// RunConcurrent executes the protocol with one goroutine per node and a
+// buffered channel per directed edge. For deterministic machines its
+// outputs coincide with RunSequential; the message and round statistics are
+// identical as well.
+func RunConcurrent(g *graph.Graph, factory Factory, maxRounds int) ([]mm.Output, *Stats, error) {
+	return RunConcurrentLabeled(g, nil, factory, maxRounds)
+}
+
+// RunConcurrentLabeled is RunConcurrent with per-node input labels.
+func RunConcurrentLabeled(g *graph.Graph, labels []int, factory Factory, maxRounds int) ([]mm.Output, *Stats, error) {
+	if err := checkLabels(g, labels); err != nil {
+		return nil, nil, err
+	}
+	n := g.N()
+	type edgeKey struct {
+		from, to int
+	}
+	chans := make(map[edgeKey]chan frame, 2*g.NumEdges())
+	for _, e := range g.Edges() {
+		// Buffer 1 lets every node send before receiving (α-synchroniser):
+		// the system is deadlock-free because sends never block.
+		chans[edgeKey{e.U, e.V}] = make(chan frame, 1)
+		chans[edgeKey{e.V, e.U}] = make(chan frame, 1)
+	}
+
+	outs := make([]mm.Output, n)
+	haltRounds := make([]int, n)
+	msgCounts := make([]int, n)
+	errs := make([]error, n)
+
+	// Machines are created in node order before any goroutine starts, so
+	// factories that hand out per-call state behave identically under both
+	// engines.
+	machines := make([]Machine, n)
+	for v := 0; v < n; v++ {
+		machines[v] = factory()
+	}
+
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			m := machines[v]
+			incident := g.Incident(v)
+			m.Init(NodeInfo{K: g.K(), Colors: g.IncidentColors(v), Label: labelOf(labels, v)})
+
+			// silent marks edges whose peer sent a farewell. Nothing is
+			// sent on silent edges: the peer no longer reads, and its
+			// channel may still hold one stranded frame (capacity 1 — a
+			// peer learns of our farewell only after its next send phase).
+			silent := make(map[group.Color]bool, len(incident))
+			sendAll := func(msgs map[group.Color]Message, farewell bool) {
+				for _, half := range incident {
+					if silent[half.Color] {
+						continue
+					}
+					f := frame{farewell: farewell}
+					if msg, ok := msgs[half.Color]; ok {
+						f.msg, f.hasMsg = msg, true
+					}
+					chans[edgeKey{v, half.Peer}] <- f
+				}
+			}
+
+			round := 0
+			for !m.Halted() {
+				round++
+				if round > maxRounds {
+					errs[v] = fmt.Errorf("runtime: node %d: no termination within %d rounds", v, maxRounds)
+					break
+				}
+				sendAll(m.Send(), false)
+				in := make(map[group.Color]Message)
+				for _, half := range incident {
+					if silent[half.Color] {
+						continue
+					}
+					f := <-chans[edgeKey{half.Peer, v}]
+					if f.farewell {
+						silent[half.Color] = true
+					}
+					if f.hasMsg {
+						in[half.Color] = f.msg
+						msgCounts[v]++
+					}
+				}
+				m.Receive(in)
+			}
+			if errs[v] == nil {
+				// Farewell so neighbours stop expecting frames. A final
+				// Send is NOT performed: halting machines are silent.
+				sendAll(nil, true)
+				outs[v] = m.Output()
+				haltRounds[v] = round
+			}
+		}(v)
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	stats := &Stats{HaltTimes: haltRounds}
+	for v := 0; v < n; v++ {
+		stats.Messages += msgCounts[v]
+		if haltRounds[v] > stats.Rounds {
+			stats.Rounds = haltRounds[v]
+		}
+	}
+	return outs, stats, nil
+}
+
+func checkLabels(g *graph.Graph, labels []int) error {
+	if labels != nil && len(labels) != g.N() {
+		return fmt.Errorf("runtime: %d labels for %d nodes", len(labels), g.N())
+	}
+	return nil
+}
+
+func labelOf(labels []int, v int) int {
+	if labels == nil {
+		return 0
+	}
+	return labels[v]
+}
+
+func allTrue(b []bool) bool {
+	for _, x := range b {
+		if !x {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,170 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/group"
+	"repro/internal/mm"
+)
+
+// echoMachine halts after a fixed number of rounds, recording everything it
+// heard; used to validate engine mechanics independently of any algorithm.
+type echoMachine struct {
+	rounds   int
+	target   int
+	colors   []group.Color
+	heard    []string
+	halted   bool
+	selfName string
+}
+
+func (m *echoMachine) Init(info NodeInfo) {
+	m.colors = info.Colors
+	m.rounds = 0
+	m.halted = m.target == 0
+}
+
+func (m *echoMachine) Send() map[group.Color]Message {
+	out := make(map[group.Color]Message, len(m.colors))
+	for _, c := range m.colors {
+		out[c] = m.selfName
+	}
+	return out
+}
+
+func (m *echoMachine) Receive(in map[group.Color]Message) {
+	for c := group.Color(1); c <= 8; c++ {
+		if msg, ok := in[c]; ok {
+			m.heard = append(m.heard, msg.(string))
+		}
+	}
+	m.rounds++
+	m.halted = m.rounds >= m.target
+}
+
+func (m *echoMachine) Halted() bool { return m.halted }
+
+func (m *echoMachine) Output() mm.Output { return mm.Bottom }
+
+func triangleFree(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.PathGraph(3, []group.Color{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSequentialMechanics(t *testing.T) {
+	g := triangleFree(t)
+	outs, stats, err := RunSequential(g, func() Machine { return &echoMachine{target: 2, selfName: "x"} }, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("outs = %v", outs)
+	}
+	if stats.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2", stats.Rounds)
+	}
+	// Messages: path 0−1−2; per round: node0→1, node1→0, node1→2, node2→1
+	// = 4 deliveries; 2 rounds = 8.
+	if stats.Messages != 8 {
+		t.Errorf("messages = %d, want 8", stats.Messages)
+	}
+}
+
+func TestConcurrentMatchesSequential(t *testing.T) {
+	g := triangleFree(t)
+	factory := func() Machine { return &echoMachine{target: 3, selfName: "m"} }
+	_, seqStats, err := RunSequential(g, factory, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, conStats, err := RunConcurrent(g, factory, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqStats.Rounds != conStats.Rounds {
+		t.Errorf("rounds: seq %d, conc %d", seqStats.Rounds, conStats.Rounds)
+	}
+	if seqStats.Messages != conStats.Messages {
+		t.Errorf("messages: seq %d, conc %d", seqStats.Messages, conStats.Messages)
+	}
+}
+
+func TestHaltAtTimeZero(t *testing.T) {
+	g := triangleFree(t)
+	outs, stats, err := RunSequential(g, func() Machine { return &echoMachine{target: 0} }, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 0 || stats.Messages != 0 {
+		t.Errorf("rounds=%d messages=%d, want 0/0", stats.Rounds, stats.Messages)
+	}
+	_ = outs
+
+	outs2, stats2, err := RunConcurrent(g, func() Machine { return &echoMachine{target: 0} }, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Rounds != 0 || stats2.Messages != 0 {
+		t.Errorf("concurrent rounds=%d messages=%d, want 0/0", stats2.Rounds, stats2.Messages)
+	}
+	_ = outs2
+}
+
+func TestStaggeredHalting(t *testing.T) {
+	// Nodes halt at different rounds; the engines must keep delivering
+	// between the surviving nodes without deadlock.
+	g, err := graph.PathGraph(4, []group.Color{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []int{1, 3, 2, 4}
+	i := 0
+	factory := func() Machine {
+		m := &echoMachine{target: targets[i%4], selfName: "n"}
+		i++
+		return m
+	}
+	_, seqStats, err := RunSequential(g, factory, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i = 0
+	_, conStats, err := RunConcurrent(g, factory, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqStats.Rounds != 4 || conStats.Rounds != 4 {
+		t.Errorf("rounds: seq %d, conc %d, want 4", seqStats.Rounds, conStats.Rounds)
+	}
+	for v := range seqStats.HaltTimes {
+		if seqStats.HaltTimes[v] != conStats.HaltTimes[v] {
+			t.Errorf("halt time of %d: seq %d, conc %d", v, seqStats.HaltTimes[v], conStats.HaltTimes[v])
+		}
+	}
+}
+
+func TestMaxRoundsExceeded(t *testing.T) {
+	g := triangleFree(t)
+	factory := func() Machine { return &echoMachine{target: 99, selfName: "z"} }
+	if _, _, err := RunSequential(g, factory, 5); err == nil ||
+		!strings.Contains(err.Error(), "no termination") {
+		t.Errorf("sequential err = %v, want termination error", err)
+	}
+	if _, _, err := RunConcurrent(g, factory, 5); err == nil ||
+		!strings.Contains(err.Error(), "no termination") {
+		t.Errorf("concurrent err = %v, want termination error", err)
+	}
+}
+
+func TestDefaultMaxRounds(t *testing.T) {
+	g := triangleFree(t)
+	if DefaultMaxRounds(g) <= g.K() {
+		t.Error("DefaultMaxRounds too small")
+	}
+}
