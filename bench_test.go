@@ -7,6 +7,7 @@ package repro
 import (
 	"io"
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"repro/internal/algo"
@@ -76,38 +77,62 @@ func BenchmarkAdversaryByK(b *testing.B) {
 	}
 }
 
-// BenchmarkGreedyMachineEngines compares the sequential engine against the
-// goroutine-per-node engine on the same instance.
+// BenchmarkGreedyMachineEngines compares the three engines on the same
+// instances: the map-based sequential reference, the goroutine-per-node
+// α-synchroniser, and the flat worker-pool engine whose round loop is
+// allocation-free (BENCH_pr1.json records a baseline).
+//
+// The instance is a union of partial random matchings rather than a
+// k-regular graph: in a k-regular properly coloured graph every node has a
+// colour-1 edge and greedy halts at time 0, so nothing but setup would be
+// measured. All engines share one arena-backed machine pool, so the numbers
+// isolate engine round-loop cost from per-machine allocation.
 func BenchmarkGreedyMachineEngines(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	g, err := graph.RandomRegular(512, 6, rng)
-	if err != nil {
-		b.Fatal(err)
+	for _, n := range []int{4096, 65536} {
+		rng := rand.New(rand.NewSource(1))
+		g := graph.RandomMatchingUnion(n, 6, 0.7, rng)
+		g.Flatten() // build the CSR once so no engine pays for it in-loop
+		factory := dist.NewGreedyMachinePool(n)
+		prefix := "n=" + strconv.Itoa(n) + "/"
+		b.Run(prefix+"sequential", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := runtime.RunSequential(g, factory, 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(prefix+"concurrent", func(b *testing.B) {
+			if n > 1<<13 && testing.Short() {
+				b.Skip("goroutine-per-node at this n is heavy; skipped with -short")
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := runtime.RunConcurrent(g, factory, 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(prefix+"workers", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := runtime.RunWorkers(g, factory, 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
-	b.Run("sequential", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, _, err := runtime.RunSequential(g, dist.NewGreedyMachine, 64); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("concurrent", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, _, err := runtime.RunConcurrent(g, dist.NewGreedyMachine, 64); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
 }
 
 // BenchmarkReductionSchedule measures the shared schedule computation that
 // every node of the reduced-greedy machine performs at Init.
 func BenchmarkReductionSchedule(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		dist.ReductionSchedule(1<<20, 6)
 	}
 }
 
 func benchName(k int) string {
-	return "k=" + string(rune('0'+k))
+	return "k=" + strconv.Itoa(k)
 }

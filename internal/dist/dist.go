@@ -1,0 +1,174 @@
+// Package dist implements the distributed maximal-matching machines of
+// Hirvonen & Suomela (PODC 2012) and the §1.1/§1.3 companions, as per-node
+// state machines for the runtime engines. Each machine maps to a part of
+// the paper:
+//
+//   - GreedyMachine — the greedy algorithm of §1.2 (Figure 1, Lemma 1):
+//     colour classes are processed in increasing order, class c being
+//     decided in round c−1 (class 1 at time 0), so the machine halts within
+//     k−1 rounds — the bound Theorem 1 proves optimal.
+//   - ReducedGreedyMachine — the §1.3 upper-bound regime k ≫ Δ: Linial-style
+//     polynomial colour reduction (ReductionSchedule) collapses the palette
+//     in O(log* k) rounds, a one-class-per-round recolouring reaches the
+//     classical 2Δ−1 palette, and greedy finishes on the reduced palette.
+//     TotalRounds predicts the exact round budget.
+//   - ProposalMachine — the palette-oblivious baseline contrasted in §1.3
+//     (in the spirit of Hoepman's proposal machines): free nodes repeatedly
+//     propose along their lowest-coloured live edge and match on mutual
+//     proposals. Palette-independent on random instances, Θ(n) on chains.
+//   - BipartiteMachine — the §1.1 related-work algorithm [6] for 2-coloured
+//     graphs: with the bipartition as input (SideWhite/SideBlack labels),
+//     whites propose edge by edge and blacks accept, producing a maximal
+//     matching in O(Δ) rounds — no Θ(k) barrier, because the side bits break
+//     the symmetry the Theorem 5 adversary exploits.
+//
+// ReduceEdgeColoring runs the reduction pipeline on a whole graph at once
+// (the centralized mirror of ReducedGreedyMachine's first two phases),
+// reaching a proper (2Δ−1)-edge-colouring in O(log* k) + O(Δ²) rounds.
+//
+// All machines implement both the map-based runtime.Machine interface and
+// the dense runtime.FlatMachine fast path, and are deterministic: every
+// engine produces identical outputs and statistics.
+package dist
+
+import (
+	"repro/internal/group"
+	"repro/internal/mm"
+	"repro/internal/runtime"
+)
+
+// wire is the tiny control-message vocabulary shared by the machines. The
+// values are boxed once into package-level runtime.Message variables so the
+// flat send path never allocates.
+type wire uint8
+
+const (
+	wireFree    wire = iota // "I am alive and unmatched"
+	wirePropose             // "match with me along this edge"
+	wireAccept              // "I accept your proposal"
+)
+
+var (
+	msgFree    runtime.Message = wireFree
+	msgPropose runtime.Message = wirePropose
+	msgAccept  runtime.Message = wireAccept
+)
+
+// isWire reports whether msg is the given control message.
+func isWire(msg runtime.Message, w wire) bool {
+	got, ok := msg.(wire)
+	return ok && got == w
+}
+
+// GreedyMachine is the distributed greedy algorithm of §1.2. Colour class c
+// is decided at time c−1: class 1 pairs match immediately at initialisation,
+// and for c ≥ 2 a free node announces "free" along its colour-c edge in
+// round c−1, so both endpoints of a colour-c edge learn simultaneously
+// whether the other is still free — silence means the peer halted earlier.
+// The schedule is faithful to the global sequential greedy process: the
+// outputs equal graph.SequentialGreedy's, and the machine halts within k−1
+// rounds (exactly k−1 on the §1.2 worst case).
+type GreedyMachine struct {
+	colors []group.Color // incident colours, ascending
+	round  int           // completed rounds
+	pos    int           // first position whose colour class is undecided
+	halted bool
+	out    mm.Output
+}
+
+// NewGreedyMachine is a runtime.Factory for GreedyMachine.
+func NewGreedyMachine() runtime.Machine { return &GreedyMachine{} }
+
+// NewGreedyMachinePool returns a runtime.Factory backed by a fixed arena of
+// n machines that is reused across runs: Init fully resets a machine, so an
+// engine driving an n-node instance repeatedly performs no per-node
+// allocation after the first run. The factory hands out arena slots
+// cyclically and is not safe for concurrent calls (no engine calls its
+// factory concurrently).
+func NewGreedyMachinePool(n int) runtime.Factory {
+	arena := make([]GreedyMachine, n)
+	next := 0
+	return func() runtime.Machine {
+		m := &arena[next%n]
+		next++
+		return m
+	}
+}
+
+// Init implements runtime.Machine. A node with a colour-1 edge matches
+// along it at time 0 (nothing can block class 1) and halts immediately.
+func (m *GreedyMachine) Init(info runtime.NodeInfo) {
+	m.colors = info.Colors
+	m.round = 0
+	m.pos = 0
+	m.halted = false
+	m.out = mm.Bottom
+	if len(m.colors) == 0 {
+		m.halted = true
+		return
+	}
+	if m.colors[0] == 1 {
+		m.out = mm.Matched(1)
+		m.halted = true
+	}
+}
+
+// decideColor returns the colour class decided in the upcoming receive
+// (class round+2, since class c is decided at time c−1), advancing pos past
+// already-decided classes, and whether this node has an edge of that class.
+func (m *GreedyMachine) decideColor() (group.Color, bool) {
+	c := group.Color(m.round + 2)
+	for m.pos < len(m.colors) && m.colors[m.pos] < c {
+		m.pos++
+	}
+	return c, m.pos < len(m.colors) && m.colors[m.pos] == c
+}
+
+// SendFlat implements runtime.FlatMachine: a free node sends "free" only on
+// the edge whose class is decided this round — one slot at most.
+func (m *GreedyMachine) SendFlat(out []runtime.Message) {
+	if c, ok := m.decideColor(); ok {
+		out[c] = msgFree
+	}
+}
+
+// Send implements runtime.Machine (map-based compatibility path).
+func (m *GreedyMachine) Send() map[group.Color]runtime.Message {
+	if c, ok := m.decideColor(); ok {
+		return map[group.Color]runtime.Message{c: msgFree}
+	}
+	return nil
+}
+
+// receive finishes the round: if this node has an edge of the decided class
+// and its peer announced "free", both endpoints match along it (the
+// decision is symmetric, hence consistent); once the node's largest colour
+// class has been decided, it halts.
+func (m *GreedyMachine) receive(present func(group.Color) bool) {
+	c, has := m.decideColor()
+	m.round++
+	if has && present(c) {
+		m.out = mm.Matched(c)
+		m.halted = true
+		return
+	}
+	if m.colors[len(m.colors)-1] <= c {
+		m.halted = true // every incident class is decided; output stays ⊥
+	}
+}
+
+// ReceiveFlat implements runtime.FlatMachine.
+func (m *GreedyMachine) ReceiveFlat(in []runtime.Message) {
+	m.receive(func(c group.Color) bool { return in[c] != nil })
+}
+
+// Receive implements runtime.Machine.
+func (m *GreedyMachine) Receive(in map[group.Color]runtime.Message) {
+	m.receive(func(c group.Color) bool { _, ok := in[c]; return ok })
+}
+
+// Halted implements runtime.Machine.
+func (m *GreedyMachine) Halted() bool { return m.halted }
+
+// Output implements runtime.Machine.
+func (m *GreedyMachine) Output() mm.Output { return m.out }

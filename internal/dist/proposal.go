@@ -1,0 +1,136 @@
+package dist
+
+import (
+	"repro/internal/group"
+	"repro/internal/mm"
+	"repro/internal/runtime"
+)
+
+// ProposalMachine is the palette-oblivious baseline of §1.3's comparison:
+// every round each free node proposes along its lowest-coloured live edge
+// and keeps the remaining live edges warm with "free" beacons; an edge
+// proposed from both sides becomes matched. Silence on an edge means the
+// peer halted, so the edge is dead. A locally minimal live edge between two
+// free nodes is proposed from both sides, so at least one edge matches
+// while any two free neighbours remain — the machine terminates, but needs
+// Θ(n) rounds on adversarial chains while being palette-independent on
+// random instances (see experiment E11).
+type ProposalMachine struct {
+	colors []group.Color
+	live   []bool
+	nlive  int
+	prop   int // position proposed on this round, -1 if none
+	halted bool
+	out    mm.Output
+}
+
+// NewProposalMachine is a runtime.Factory for ProposalMachine.
+func NewProposalMachine() runtime.Machine { return &ProposalMachine{} }
+
+// Init implements runtime.Machine. Isolated nodes halt unmatched at time 0.
+func (m *ProposalMachine) Init(info runtime.NodeInfo) {
+	m.colors = info.Colors
+	m.live = make([]bool, len(m.colors))
+	for i := range m.live {
+		m.live[i] = true
+	}
+	m.nlive = len(m.colors)
+	m.prop = -1
+	m.halted = false
+	m.out = mm.Bottom
+	if m.nlive == 0 {
+		m.halted = true
+	}
+}
+
+// target picks the proposal edge: the live position of least colour
+// (positions are colour-sorted).
+func (m *ProposalMachine) target() int {
+	for i, ok := range m.live {
+		if ok {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *ProposalMachine) send(emit func(group.Color, runtime.Message)) {
+	m.prop = m.target()
+	for i, ok := range m.live {
+		if !ok {
+			continue
+		}
+		if i == m.prop {
+			emit(m.colors[i], msgPropose)
+		} else {
+			emit(m.colors[i], msgFree)
+		}
+	}
+}
+
+// SendFlat implements runtime.FlatMachine.
+func (m *ProposalMachine) SendFlat(out []runtime.Message) {
+	m.send(func(c group.Color, msg runtime.Message) { out[c] = msg })
+}
+
+// Send implements runtime.Machine.
+func (m *ProposalMachine) Send() map[group.Color]runtime.Message {
+	if m.nlive == 0 {
+		return nil
+	}
+	out := make(map[group.Color]runtime.Message, m.nlive)
+	m.send(func(c group.Color, msg runtime.Message) { out[c] = msg })
+	return out
+}
+
+func (m *ProposalMachine) receive(get func(group.Color) (runtime.Message, bool)) {
+	matched := -1
+	for i, ok := range m.live {
+		if !ok {
+			continue
+		}
+		msg, got := get(m.colors[i])
+		if !got {
+			// Silence: the peer halted; the edge is gone for good.
+			m.live[i] = false
+			m.nlive--
+			continue
+		}
+		if i == m.prop && isWire(msg, wirePropose) {
+			matched = i
+		}
+	}
+	m.prop = -1
+	if matched >= 0 {
+		m.out = mm.Matched(m.colors[matched])
+		m.halted = true
+		return
+	}
+	if m.nlive == 0 {
+		m.halted = true // all neighbours matched away: ⊥ is final
+	}
+}
+
+// ReceiveFlat implements runtime.FlatMachine.
+func (m *ProposalMachine) ReceiveFlat(in []runtime.Message) {
+	m.receive(func(c group.Color) (runtime.Message, bool) {
+		if msg := in[c]; msg != nil {
+			return msg, true
+		}
+		return nil, false
+	})
+}
+
+// Receive implements runtime.Machine.
+func (m *ProposalMachine) Receive(in map[group.Color]runtime.Message) {
+	m.receive(func(c group.Color) (runtime.Message, bool) {
+		msg, ok := in[c]
+		return msg, ok
+	})
+}
+
+// Halted implements runtime.Machine.
+func (m *ProposalMachine) Halted() bool { return m.halted }
+
+// Output implements runtime.Machine.
+func (m *ProposalMachine) Output() mm.Output { return m.out }

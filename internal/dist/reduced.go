@@ -1,0 +1,266 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/group"
+	"repro/internal/mm"
+	"repro/internal/runtime"
+)
+
+// ReducedGreedyMachine is the §1.3 upper-bound algorithm for the k ≫ Δ
+// regime: colour reduction first, greedy after, for a total of
+// O(log* k) + O(Δ²) + O(Δ) rounds instead of greedy's Θ(k). It runs in
+// three phases, all derived locally from (k, Δ):
+//
+//  1. Linial reduction (rounds 1…S, S = len(ReductionSchedule)): each round
+//     every node sends its full list of current edge colours on every edge;
+//     both endpoints of an edge then know all adjacent colours and agree on
+//     the edge's next colour via stepColor. The proper colouring invariant
+//     is preserved because adjacent edges pick distinguishing evaluation
+//     points.
+//  2. Recolouring (one round per class, top-down): the edges of the current
+//     highest class — a matching, since the colouring is proper — move to
+//     the least free colour in 1…2Δ−1, which exists because an edge has at
+//     most 2Δ−2 adjacent edges. After this phase the palette is ≤ 2Δ−1.
+//  3. Greedy on the reduced palette, exactly like GreedyMachine but on the
+//     reduced colours (outputs still name original edge colours): reduced
+//     class 1 matches the moment phase 2 ends, class c at relative round
+//     c−1.
+//
+// TotalRounds(k, delta) is the exact worst-case round count. The machine
+// requires the instance's maximum degree to be at most delta; it panics
+// otherwise, since no conflict-free reduction can exist.
+type ReducedGreedyMachine struct {
+	delta   int
+	colors  []group.Color // original incident colours (ascending); the output vocabulary
+	cur     []group.Color // current reduced colour per position
+	sched   []Step
+	sRounds int         // phase-1 rounds (= len(sched))
+	rRounds int         // phase-2 rounds (= fixed-point palette − (2Δ−1), if positive)
+	qstar   int         // fixed-point palette after phase 1
+	target  int         // 2Δ−1
+	maxCur  group.Color // largest reduced colour, valid once greedy starts
+	round   int
+	halted  bool
+	out     mm.Output
+}
+
+// NewReducedGreedyMachine returns a runtime.Factory for machines that
+// reduce the palette for instances of maximum degree ≤ delta.
+func NewReducedGreedyMachine(delta int) runtime.Factory {
+	return func() runtime.Machine { return &ReducedGreedyMachine{delta: delta} }
+}
+
+// Init implements runtime.Machine. Every node computes the shared reduction
+// schedule from (k, Δ); when no reduction is possible (small k) the machine
+// degenerates to plain greedy and class-1 edges match at time 0.
+func (m *ReducedGreedyMachine) Init(info runtime.NodeInfo) {
+	m.colors = info.Colors
+	m.round = 0
+	m.halted = false
+	m.out = mm.Bottom
+	if len(m.colors) == 0 {
+		m.halted = true
+		return
+	}
+	d := m.delta
+	if d < 1 {
+		d = 1
+	}
+	m.sched = ReductionSchedule(info.K, 2*(d-1))
+	m.sRounds = len(m.sched)
+	m.qstar = info.K
+	if m.sRounds > 0 {
+		m.qstar = m.sched[m.sRounds-1].NewQ
+	}
+	m.target = 2*d - 1
+	m.rRounds = 0
+	if m.qstar > m.target {
+		m.rRounds = m.qstar - m.target
+	}
+	m.cur = make([]group.Color, len(m.colors))
+	copy(m.cur, m.colors)
+	if m.sRounds+m.rRounds == 0 {
+		m.greedyStart()
+	}
+}
+
+// greedyStart begins phase 3: all nodes are free, so every edge of reduced
+// class 1 is matched on the spot.
+func (m *ReducedGreedyMachine) greedyStart() {
+	m.maxCur = 0
+	for i, c := range m.cur {
+		if c > m.maxCur {
+			m.maxCur = c
+		}
+		if c == 1 {
+			m.out = mm.Matched(m.colors[i])
+			m.halted = true
+		}
+	}
+}
+
+// colorList snapshots the node's current edge colours; the same slice is
+// sent on every edge (receivers only read it).
+func (m *ReducedGreedyMachine) colorList() []group.Color {
+	l := make([]group.Color, len(m.cur))
+	copy(l, m.cur)
+	return l
+}
+
+// greedyPos returns the position whose reduced class is decided in the
+// upcoming receive (class t+1 at relative greedy round t), or -1.
+func (m *ReducedGreedyMachine) greedyPos(r int) int {
+	c := group.Color(r - m.sRounds - m.rRounds + 1)
+	for i, cc := range m.cur {
+		if cc == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *ReducedGreedyMachine) send(emit func(group.Color, runtime.Message)) {
+	r := m.round + 1
+	if r <= m.sRounds+m.rRounds {
+		msg := runtime.Message(m.colorList())
+		for _, c := range m.colors {
+			emit(c, msg)
+		}
+		return
+	}
+	if i := m.greedyPos(r); i >= 0 {
+		emit(m.colors[i], msgFree)
+	}
+}
+
+// SendFlat implements runtime.FlatMachine.
+func (m *ReducedGreedyMachine) SendFlat(out []runtime.Message) {
+	m.send(func(c group.Color, msg runtime.Message) { out[c] = msg })
+}
+
+// Send implements runtime.Machine.
+func (m *ReducedGreedyMachine) Send() map[group.Color]runtime.Message {
+	var out map[group.Color]runtime.Message
+	m.send(func(c group.Color, msg runtime.Message) {
+		if out == nil {
+			out = make(map[group.Color]runtime.Message, len(m.colors))
+		}
+		out[c] = msg
+	})
+	return out
+}
+
+// blockedFor collects the colours of all edges adjacent to position i: the
+// node's other edges plus the peer's other edges. peerList contains the
+// peer's full list, so exactly one entry — the shared edge's own colour —
+// is dropped.
+func (m *ReducedGreedyMachine) blockedFor(i int, peerList []group.Color) []int {
+	blocked := make([]int, 0, len(m.cur)+len(peerList)-2)
+	for j, c := range m.cur {
+		if j != i {
+			blocked = append(blocked, int(c))
+		}
+	}
+	own := m.cur[i]
+	dropped := false
+	for _, c := range peerList {
+		if !dropped && c == own {
+			dropped = true
+			continue
+		}
+		blocked = append(blocked, int(c))
+	}
+	return blocked
+}
+
+func (m *ReducedGreedyMachine) receive(get func(group.Color) (runtime.Message, bool)) {
+	r := m.round + 1
+	m.round = r
+	switch {
+	case r <= m.sRounds:
+		// Phase 1: one Linial step; every edge recolours simultaneously.
+		st := m.sched[r-1]
+		next := make([]group.Color, len(m.cur))
+		for i := range m.cur {
+			peerList := m.peerList(get, i)
+			nc, ok := stepColor(st, int(m.cur[i]), m.blockedFor(i, peerList))
+			if !ok {
+				panic(fmt.Sprintf("dist: reduction step found no free evaluation point; instance degree exceeds Δ = %d", m.delta))
+			}
+			next[i] = group.Color(nc)
+		}
+		copy(m.cur, next)
+	case r <= m.sRounds+m.rRounds:
+		// Phase 2: the edges of one class — a matching — recolour into the
+		// 2Δ−1 palette.
+		class := group.Color(m.qstar - (r - m.sRounds) + 1)
+		for i := range m.cur {
+			if m.cur[i] != class {
+				continue
+			}
+			peerList := m.peerList(get, i)
+			nc, ok := freeColor(m.target, m.blockedFor(i, peerList))
+			if !ok {
+				panic(fmt.Sprintf("dist: recolouring found no free colour below 2Δ−1; instance degree exceeds Δ = %d", m.delta))
+			}
+			m.cur[i] = group.Color(nc)
+		}
+	default:
+		// Phase 3: greedy on the reduced palette.
+		if i := m.greedyPos(r); i >= 0 {
+			if _, ok := get(m.colors[i]); ok {
+				m.out = mm.Matched(m.colors[i])
+				m.halted = true
+				return
+			}
+		}
+		if group.Color(r-m.sRounds-m.rRounds+1) >= m.maxCur {
+			m.halted = true
+		}
+		return
+	}
+	if r == m.sRounds+m.rRounds {
+		m.greedyStart()
+	}
+}
+
+// peerList extracts the colour list the peer behind position i sent this
+// round. During the reduction phases every non-isolated node is live, so a
+// missing or malformed message is a protocol violation, not a halt signal.
+func (m *ReducedGreedyMachine) peerList(get func(group.Color) (runtime.Message, bool), i int) []group.Color {
+	msg, ok := get(m.colors[i])
+	if !ok {
+		panic("dist: reduction round missing a neighbour's colour list")
+	}
+	list, ok := msg.([]group.Color)
+	if !ok {
+		panic("dist: reduction round received a non-colour-list message")
+	}
+	return list
+}
+
+// ReceiveFlat implements runtime.FlatMachine.
+func (m *ReducedGreedyMachine) ReceiveFlat(in []runtime.Message) {
+	m.receive(func(c group.Color) (runtime.Message, bool) {
+		if msg := in[c]; msg != nil {
+			return msg, true
+		}
+		return nil, false
+	})
+}
+
+// Receive implements runtime.Machine.
+func (m *ReducedGreedyMachine) Receive(in map[group.Color]runtime.Message) {
+	m.receive(func(c group.Color) (runtime.Message, bool) {
+		msg, ok := in[c]
+		return msg, ok
+	})
+}
+
+// Halted implements runtime.Machine.
+func (m *ReducedGreedyMachine) Halted() bool { return m.halted }
+
+// Output implements runtime.Machine.
+func (m *ReducedGreedyMachine) Output() mm.Output { return m.out }

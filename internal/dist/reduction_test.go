@@ -1,0 +1,103 @@
+package dist_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/logstar"
+)
+
+// TestReductionScheduleGolden freezes the schedules every node derives
+// locally: any drift here silently changes TotalRounds and the wire
+// behaviour of ReducedGreedyMachine, so the exact steps are pinned.
+func TestReductionScheduleGolden(t *testing.T) {
+	tests := []struct {
+		q, d int
+		want []dist.Step
+	}{
+		{65536, 4, []dist.Step{
+			{Q: 65536, P: 17, S: 3, NewQ: 289},
+			{Q: 289, P: 11, S: 2, NewQ: 121},
+		}},
+		{2048, 4, []dist.Step{
+			{Q: 2048, P: 13, S: 2, NewQ: 169},
+			{Q: 169, P: 11, S: 2, NewQ: 121},
+		}},
+		{1 << 20, 6, []dist.Step{
+			{Q: 1 << 20, P: 29, S: 4, NewQ: 841},
+			{Q: 841, P: 13, S: 2, NewQ: 169},
+		}},
+		{65536, 8, []dist.Step{
+			{Q: 65536, P: 29, S: 3, NewQ: 841},
+			{Q: 841, P: 17, S: 2, NewQ: 289},
+		}},
+		{121, 4, nil}, // the d=4 fixed point: no step shrinks the palette
+		{16, 4, nil},
+	}
+	for _, tt := range tests {
+		got := dist.ReductionSchedule(tt.q, tt.d)
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("ReductionSchedule(%d, %d) = %+v, want %+v", tt.q, tt.d, got, tt.want)
+		}
+	}
+}
+
+// TestReductionScheduleInvariants checks the two properties every step
+// needs: injective polynomial encoding (P^(S+1) ≥ Q) and enough evaluation
+// points (P ≥ d·S+1), plus strict palette shrinkage.
+func TestReductionScheduleInvariants(t *testing.T) {
+	for _, p := range []struct{ q, d int }{
+		{1 << 20, 6}, {65536, 4}, {12345, 10}, {997, 2}, {2, 4},
+	} {
+		q := p.q
+		for _, st := range dist.ReductionSchedule(p.q, p.d) {
+			if st.Q != q {
+				t.Fatalf("(%d,%d): step starts at %d, palette is %d", p.q, p.d, st.Q, q)
+			}
+			if st.P < p.d*st.S+1 {
+				t.Errorf("(%d,%d): P=%d < d·S+1=%d", p.q, p.d, st.P, p.d*st.S+1)
+			}
+			if !logstar.IsPrime(st.P) {
+				t.Errorf("(%d,%d): P=%d not prime", p.q, p.d, st.P)
+			}
+			pow := 1
+			for i := 0; i <= st.S; i++ {
+				pow *= st.P
+				if pow >= st.Q {
+					break
+				}
+			}
+			if pow < st.Q {
+				t.Errorf("(%d,%d): P^(S+1)=%d < Q=%d", p.q, p.d, pow, st.Q)
+			}
+			if st.NewQ != st.P*st.P || st.NewQ >= st.Q {
+				t.Errorf("(%d,%d): step %+v does not shrink", p.q, p.d, st)
+			}
+			q = st.NewQ
+		}
+	}
+}
+
+// TestTotalRounds pins the crossover behaviour behind experiment E11: for
+// Δ=3 the reduced machine beats greedy's k−1 bound from k=256 on, and the
+// budget is monotone in the palette only through the log* schedule.
+func TestTotalRounds(t *testing.T) {
+	tests := []struct{ k, delta, want int }{
+		{4, 3, 3},     // no reduction possible: plain greedy's k−1
+		{64, 3, 63},   // still k−1: the fixed point (121) exceeds k
+		{256, 3, 121}, // one step to 121, recolour to 5, greedy
+		{1024, 3, 121},
+		{2048, 3, 122},
+		{65536, 3, 122},
+		{65536, 5, 290},
+	}
+	for _, tt := range tests {
+		if got := dist.TotalRounds(tt.k, tt.delta); got != tt.want {
+			t.Errorf("TotalRounds(%d, %d) = %d, want %d", tt.k, tt.delta, got, tt.want)
+		}
+	}
+	if dist.TotalRounds(256, 3) >= 256-1 {
+		t.Error("reduced greedy never beats the k−1 bound at k=256, Δ=3")
+	}
+}

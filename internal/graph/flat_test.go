@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFlatAdjacency checks the CSR mirror against the map representation:
+// ranges, colour sorting and mate reciprocity.
+func TestFlatAdjacency(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := RandomMatchingUnion(50, 6, 0.8, rng)
+	halves := g.Halves()
+	mates := g.Mates()
+	if len(mates) != len(halves) {
+		t.Fatalf("|mates| = %d, |halves| = %d", len(mates), len(halves))
+	}
+	total := 0
+	for v := 0; v < g.N(); v++ {
+		lo, hi := g.HalfRange(v)
+		if hi-lo != g.Degree(v) {
+			t.Fatalf("node %d: range %d, degree %d", v, hi-lo, g.Degree(v))
+		}
+		total += hi - lo
+		for i := lo; i < hi; i++ {
+			h := halves[i]
+			if i > lo && halves[i-1].Color >= h.Color {
+				t.Fatalf("node %d: halves not strictly colour-sorted", v)
+			}
+			if peer, ok := g.Neighbor(v, h.Color); !ok || peer != h.Peer {
+				t.Fatalf("node %d colour %v: flat peer %d, map peer %d (ok=%v)", v, h.Color, h.Peer, peer, ok)
+			}
+			// The mate is the same edge seen from the peer…
+			m := halves[mates[i]]
+			if m.Peer != v || m.Color != h.Color {
+				t.Fatalf("half %d (%d→%d, %v): mate is (%d→%d, %v)", i, v, h.Peer, h.Color,
+					h.Peer, m.Peer, m.Color)
+			}
+			// …and mating is an involution.
+			if mates[mates[i]] != i {
+				t.Fatalf("half %d: mate of mate is %d", i, mates[mates[i]])
+			}
+		}
+	}
+	if total != len(halves) {
+		t.Fatalf("ranges cover %d halves of %d", total, len(halves))
+	}
+}
+
+// TestIncidentZeroAlloc pins the tentpole property: once flattened,
+// Incident and IncidentColors allocate nothing.
+func TestIncidentZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	g, err := RandomRegular(64, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Flatten()
+	if a := testing.AllocsPerRun(100, func() {
+		for v := 0; v < g.N(); v++ {
+			_ = g.Incident(v)
+			_ = g.IncidentColors(v)
+		}
+	}); a != 0 {
+		t.Errorf("Incident+IncidentColors allocate %v per sweep, want 0", a)
+	}
+}
+
+// TestFlattenInvalidation: mutating the graph rebuilds the flat view.
+func TestFlattenInvalidation(t *testing.T) {
+	g := New(4, 3)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Incident(0); len(got) != 1 {
+		t.Fatalf("Incident(0) = %v", got)
+	}
+	if err := g.AddEdge(0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	inc := g.Incident(0)
+	if len(inc) != 2 || inc[0].Color != 1 || inc[1].Color != 2 {
+		t.Fatalf("after mutation Incident(0) = %v", inc)
+	}
+	cols := g.IncidentColors(2)
+	if len(cols) != 1 || cols[0] != 2 {
+		t.Fatalf("IncidentColors(2) = %v", cols)
+	}
+}

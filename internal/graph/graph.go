@@ -42,9 +42,28 @@ type Edge struct {
 
 // Graph is a finite simple graph with a proper k-edge-colouring. The zero
 // value is not usable; construct with New.
+//
+// Internally the graph keeps two representations: a per-node colour→peer
+// map that AddEdge maintains (and that backs validation and mutation), and
+// a flat CSR-style adjacency — one contiguous []Half plus node offsets —
+// that is built lazily and backs the zero-allocation read API used by the
+// execution engines (Incident, IncidentColors, Halves, Mates).
 type Graph struct {
-	k   int
-	adj []map[group.Color]int // adj[v][c] = peer behind colour c at v
+	k    int
+	adj  []map[group.Color]int // adj[v][c] = peer behind colour c at v
+	flat flatAdj
+}
+
+// flatAdj is the CSR mirror of adj: halves[offsets[v]:offsets[v+1]] are
+// node v's incident halves sorted by colour, colors is the parallel slice
+// of just the colours, and mates[i] is the index of the reciprocal half of
+// halves[i] (the same undirected edge seen from the peer).
+type flatAdj struct {
+	valid   bool
+	offsets []int
+	halves  []Half
+	colors  []group.Color
+	mates   []int
 }
 
 // New returns an empty graph with n nodes (numbered 0…n−1) and colour
@@ -55,6 +74,50 @@ func New(n, k int) *Graph {
 		adj[i] = make(map[group.Color]int)
 	}
 	return &Graph{k: k, adj: adj}
+}
+
+// Flatten (re)builds the flat CSR adjacency if the graph was mutated since
+// the last build. Reads of the flat API (Incident, IncidentColors, Halves,
+// Mates, HalfRange) flatten implicitly, but they are only safe for
+// concurrent use after an explicit Flatten: call it once before handing the
+// graph to concurrent readers. Mutating the graph invalidates all
+// previously returned flat subslices.
+func (g *Graph) Flatten() {
+	if g.flat.valid {
+		return
+	}
+	n := len(g.adj)
+	offsets := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + len(g.adj[v])
+	}
+	total := offsets[n]
+	halves := make([]Half, total)
+	colors := make([]group.Color, total)
+	for v := 0; v < n; v++ {
+		i := offsets[v]
+		for c, peer := range g.adj[v] {
+			halves[i] = Half{Peer: peer, Color: c}
+			i++
+		}
+		hv := halves[offsets[v]:offsets[v+1]]
+		sort.Slice(hv, func(a, b int) bool { return hv[a].Color < hv[b].Color })
+		for j, h := range hv {
+			colors[offsets[v]+j] = h.Color
+		}
+	}
+	// mates[i]: position of the same edge inside the peer's (sorted) range,
+	// found by binary search on the peer's colour subslice.
+	mates := make([]int, total)
+	for v := 0; v < n; v++ {
+		for i := offsets[v]; i < offsets[v+1]; i++ {
+			p := halves[i].Peer
+			pc := colors[offsets[p]:offsets[p+1]]
+			j := sort.Search(len(pc), func(x int) bool { return pc[x] >= halves[i].Color })
+			mates[i] = offsets[p] + j
+		}
+	}
+	g.flat = flatAdj{valid: true, offsets: offsets, halves: halves, colors: colors, mates: mates}
 }
 
 // N returns the number of nodes.
@@ -89,6 +152,7 @@ func (g *Graph) AddEdge(u, v int, c group.Color) error {
 	}
 	g.adj[u][c] = v
 	g.adj[v][c] = u
+	g.flat.valid = false
 	return nil
 }
 
@@ -112,24 +176,45 @@ func (g *Graph) Neighbor(v int, c group.Color) (int, bool) {
 	return peer, ok
 }
 
-// Incident returns v's incident halves sorted by colour.
+// Incident returns v's incident halves sorted by colour. The result is a
+// subslice of the shared flat adjacency: it costs zero allocations, must
+// not be modified, and is valid until the next mutation of the graph.
 func (g *Graph) Incident(v int) []Half {
-	out := make([]Half, 0, len(g.adj[v]))
-	for c, peer := range g.adj[v] {
-		out = append(out, Half{Peer: peer, Color: c})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Color < out[j].Color })
-	return out
+	g.Flatten()
+	lo, hi := g.flat.offsets[v], g.flat.offsets[v+1]
+	return g.flat.halves[lo:hi:hi]
 }
 
-// IncidentColors returns the sorted colours incident to v.
+// IncidentColors returns the sorted colours incident to v. Like Incident it
+// returns a read-only subslice of the flat adjacency with zero allocation.
 func (g *Graph) IncidentColors(v int) []group.Color {
-	out := make([]group.Color, 0, len(g.adj[v]))
-	for c := range g.adj[v] {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	g.Flatten()
+	lo, hi := g.flat.offsets[v], g.flat.offsets[v+1]
+	return g.flat.colors[lo:hi:hi]
+}
+
+// HalfRange returns the index range [lo, hi) of node v's halves inside
+// Halves(); the engines use it to address per-directed-edge message slots.
+func (g *Graph) HalfRange(v int) (lo, hi int) {
+	g.Flatten()
+	return g.flat.offsets[v], g.flat.offsets[v+1]
+}
+
+// Halves returns the whole flat half slab: every directed edge (v → peer)
+// exactly once, grouped by v and sorted by colour within each group. Must
+// not be modified.
+func (g *Graph) Halves() []Half {
+	g.Flatten()
+	return g.flat.halves
+}
+
+// Mates returns, for every half index i in Halves(), the index of the
+// reciprocal half (the same undirected edge seen from the peer). The slab
+// slot Mates()[i] is where messages travelling towards Halves()[i]'s owner
+// are found. Must not be modified.
+func (g *Graph) Mates() []int {
+	g.Flatten()
+	return g.flat.mates
 }
 
 // Edges returns all edges sorted by (U, V).

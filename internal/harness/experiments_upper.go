@@ -35,6 +35,22 @@ func e1() Experiment {
 				if stats.Rounds > g.K()-1 {
 					return fmt.Errorf("%s: %d rounds exceeds k−1 = %d", name, stats.Rounds, g.K()-1)
 				}
+				// Cross-check the flat worker-pool engine against the
+				// sequential reference on every instance of the experiment.
+				wouts, wstats, err := runtime.RunWorkers(g, dist.NewGreedyMachine, runtime.DefaultMaxRounds(g))
+				if err != nil {
+					return err
+				}
+				for v := range wouts {
+					if wouts[v] != outs[v] {
+						return fmt.Errorf("%s: workers engine diverges at node %d (%v vs %v)",
+							name, v, wouts[v], outs[v])
+					}
+				}
+				if wstats.Rounds != stats.Rounds || wstats.Messages != stats.Messages {
+					return fmt.Errorf("%s: workers stats (%d rounds, %d msgs) differ from sequential (%d, %d)",
+						name, wstats.Rounds, wstats.Messages, stats.Rounds, stats.Messages)
+				}
 				table.AddRow(name, g.N(), g.NumEdges(), g.MaxDegree(), g.K(),
 					stats.Rounds, g.K()-1, len(graph.MatchingEdges(g, outs)), "yes")
 				return nil

@@ -10,18 +10,25 @@
 // its local output. The running time of an execution is the number of
 // rounds until every node has stopped.
 //
-// Two engines execute the same Machine protocol:
+// Three engines execute the same Machine protocol:
 //
-//   - RunSequential: a deterministic single-goroutine reference engine.
+//   - RunSequential: a deterministic single-goroutine reference engine
+//     driving the map-based Machine interface directly.
 //   - RunConcurrent: one goroutine per node with a buffered channel per
 //     directed edge. Synchrony is maintained without a global barrier by an
 //     α-synchroniser discipline: every live node sends exactly one frame on
 //     every live edge per round, so receives naturally align rounds. A
 //     halting node sends a final farewell frame; its neighbours thereafter
 //     treat the edge as silent.
+//   - RunWorkers: a fixed worker pool with a round barrier, nodes sharded
+//     across workers and messages stored in dense per-directed-edge slots,
+//     so the round loop allocates nothing. Machines that implement
+//     FlatMachine are driven through colour-indexed slices; plain Machines
+//     are adapted transparently. This is the engine that scales to millions
+//     of nodes (goroutine-per-node does not).
 //
-// Both engines must produce identical outputs for deterministic machines;
-// tests verify this.
+// All engines must produce identical outputs and statistics for
+// deterministic machines; tests verify this.
 package runtime
 
 import (
@@ -35,7 +42,10 @@ import (
 
 // Message is an opaque message exchanged along an edge. The model allows
 // arbitrarily large messages (the lower bound holds regardless), so any
-// value is permitted; machines define their own concrete types.
+// non-nil value is permitted; machines define their own concrete types.
+// A nil Message means "send nothing": every engine treats a nil map entry
+// and an absent one identically, which is what lets the dense FlatMachine
+// path (where absence is a nil slot) coincide with the map path.
 type Message any
 
 // NodeInfo is a node's initial local knowledge: the palette size and its
@@ -63,8 +73,8 @@ type Machine interface {
 	// Init resets the machine with the node's initial knowledge.
 	Init(info NodeInfo)
 	// Send returns this round's outgoing messages keyed by incident edge
-	// colour. Missing keys mean "send nothing" on that edge; receivers see
-	// no entry for that colour.
+	// colour. Missing keys — and nil values — mean "send nothing" on that
+	// edge; receivers see no entry for that colour.
 	Send() map[group.Color]Message
 	// Receive delivers this round's incoming messages keyed by edge colour
 	// and lets the machine update its state. Edges whose peer has halted
@@ -141,7 +151,7 @@ func RunSequentialLabeled(g *graph.Graph, labels []int, factory Factory, maxRoun
 			// machines, and most (node, round) pairs receive nothing.
 			var in map[group.Color]Message
 			for _, half := range incidents[v] {
-				if msg, ok := sends[half.Peer][half.Color]; ok {
+				if msg, ok := sends[half.Peer][half.Color]; ok && msg != nil {
 					if in == nil {
 						in = make(map[group.Color]Message, len(incidents[v]))
 					}
@@ -185,6 +195,9 @@ func RunConcurrentLabeled(g *graph.Graph, labels []int, factory Factory, maxRoun
 	if err := checkLabels(g, labels); err != nil {
 		return nil, nil, err
 	}
+	// Build the flat adjacency once up front: the node goroutines below read
+	// it concurrently, and lazy building under concurrent access would race.
+	g.Flatten()
 	n := g.N()
 	type edgeKey struct {
 		from, to int
@@ -230,7 +243,7 @@ func RunConcurrentLabeled(g *graph.Graph, labels []int, factory Factory, maxRoun
 						continue
 					}
 					f := frame{farewell: farewell}
-					if msg, ok := msgs[half.Color]; ok {
+					if msg, ok := msgs[half.Color]; ok && msg != nil {
 						f.msg, f.hasMsg = msg, true
 					}
 					chans[edgeKey{v, half.Peer}] <- f

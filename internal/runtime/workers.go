@@ -1,0 +1,313 @@
+package runtime
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/group"
+	"repro/internal/mm"
+)
+
+// FlatMachine is the dense fast path of Machine. Colours are 1…k, so a
+// round's messages fit in a slice indexed by edge colour; machines that
+// implement it avoid the per-round map allocations of Send/Receive.
+//
+// Contract: SendFlat may write out[c] only for the node's incident colours
+// c, and a nil entry means "send nothing" (machines must not send nil
+// messages on the flat path). ReceiveFlat sees in[c] == nil for edges whose
+// peer sent nothing or has halted. The engine owns both buffers; machines
+// must not retain them across calls.
+type FlatMachine interface {
+	Machine
+	// SendFlat writes this round's outgoing messages into out (length k+1,
+	// all-nil on entry), one slot per incident edge colour.
+	SendFlat(out []Message)
+	// ReceiveFlat delivers this round's incoming messages, in[c] holding the
+	// message received along the colour-c edge (nil = nothing).
+	ReceiveFlat(in []Message)
+}
+
+// RunWorkers executes the protocol on a fixed pool of GOMAXPROCS workers
+// with a round barrier: nodes are sharded across workers, and messages live
+// in a dense per-directed-edge slab, so the round loop performs no
+// allocations. Outputs and statistics coincide with RunSequential and
+// RunConcurrent for deterministic machines.
+func RunWorkers(g *graph.Graph, factory Factory, maxRounds int) ([]mm.Output, *Stats, error) {
+	return RunWorkersN(g, nil, factory, maxRounds, goruntime.GOMAXPROCS(0))
+}
+
+// RunWorkersLabeled is RunWorkers with per-node input labels.
+func RunWorkersLabeled(g *graph.Graph, labels []int, factory Factory, maxRounds int) ([]mm.Output, *Stats, error) {
+	return RunWorkersN(g, labels, factory, maxRounds, goruntime.GOMAXPROCS(0))
+}
+
+// RunWorkersN is RunWorkersLabeled with an explicit worker count. The
+// result is independent of the worker count: the two phase barriers per
+// round make every interleaving equivalent to the sequential schedule.
+func RunWorkersN(g *graph.Graph, labels []int, factory Factory, maxRounds, workers int) ([]mm.Output, *Stats, error) {
+	if err := checkLabels(g, labels); err != nil {
+		return nil, nil, err
+	}
+	n := g.N()
+	if n == 0 {
+		return nil, &Stats{HaltTimes: []int{}}, nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	g.Flatten()
+	k := g.K()
+	halves := g.Halves()
+	mates := g.Mates()
+	st := workersStatePool.Get().(*workersState)
+	defer func() {
+		// Drop machine references before pooling so a finished run does not
+		// pin its machines (and, through them, the graph) until the next use.
+		clear(st.machines)
+		clear(st.flats)
+		workersStatePool.Put(st)
+	}()
+	st.fit(n, len(halves))
+	offsets := st.offsets
+	for v := 0; v < n; v++ {
+		_, offsets[v+1] = g.HalfRange(v)
+	}
+
+	// Machines are created and initialised in node order before any worker
+	// starts, so stateful factories behave identically under every engine.
+	machines := st.machines
+	flats := st.flats // nil where the machine is map-only
+	haltTimes := make([]int, n)
+	var alive int64
+	for v := 0; v < n; v++ {
+		machines[v] = factory()
+	}
+	live := st.live
+	for v := 0; v < n; v++ {
+		m := machines[v]
+		if fm, ok := m.(FlatMachine); ok {
+			flats[v] = fm
+		} else {
+			flats[v] = nil
+		}
+		m.Init(NodeInfo{K: k, Colors: g.IncidentColors(v), Label: labelOf(labels, v)})
+		if !m.Halted() {
+			live[v] = true
+			alive++
+		} else {
+			live[v] = false
+		}
+	}
+
+	// slab[i] is the message in flight on directed edge i (= Halves()[i]).
+	// Written by the owner during the send phase, read and re-nilled by the
+	// peer during the receive phase; the two phases are barrier-separated,
+	// and each slot has exactly one writer and one reader, so no slot is
+	// ever touched concurrently.
+	slab := st.slab
+
+	bar := newBarrier(workers)
+	errs := make([]error, workers)
+	msgCounts := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			outBuf := make([]Message, k+1)
+			inBuf := make([]Message, k+1)
+			// active lists this shard's live nodes in ascending order; the
+			// receive phase compacts it in place, so per-round work is
+			// proportional to the shard's live nodes, not its size.
+			active := make([]int32, 0, hi-lo)
+			for v := lo; v < hi; v++ {
+				if live[v] {
+					active = append(active, int32(v))
+				}
+			}
+			count := 0
+			for round := 1; ; round++ {
+				// alive is stable between the receive barrier and the next
+				// send barrier, so every worker takes the same branch here.
+				if atomic.LoadInt64(&alive) == 0 {
+					break
+				}
+				if round > maxRounds {
+					errs[w] = fmt.Errorf("runtime: no termination within %d rounds", maxRounds)
+					break
+				}
+				// Send phase: each worker fills the slab slots of its own
+				// nodes' outgoing halves.
+				for _, v32 := range active {
+					v := int(v32)
+					vlo, vhi := offsets[v], offsets[v+1]
+					if fm := flats[v]; fm != nil {
+						fm.SendFlat(outBuf)
+						for i := vlo; i < vhi; i++ {
+							if msg := outBuf[halves[i].Color]; msg != nil {
+								slab[i] = msg
+								outBuf[halves[i].Color] = nil
+							}
+						}
+					} else {
+						msgs := machines[v].Send()
+						for i := vlo; i < vhi; i++ {
+							// nil values mean "send nothing", as in every engine.
+							if msg, ok := msgs[halves[i].Color]; ok && msg != nil {
+								slab[i] = msg
+							}
+						}
+					}
+				}
+				bar.wait()
+				// Receive phase: gather each node's incoming slots, deliver,
+				// and clear the consumed slots for the next round.
+				kept := active[:0]
+				for _, v32 := range active {
+					v := int(v32)
+					vlo, vhi := offsets[v], offsets[v+1]
+					m := machines[v]
+					if fm := flats[v]; fm != nil {
+						got := 0
+						for i := vlo; i < vhi; i++ {
+							if msg := slab[mates[i]]; msg != nil {
+								inBuf[halves[i].Color] = msg
+								slab[mates[i]] = nil
+								got++
+							}
+						}
+						count += got
+						fm.ReceiveFlat(inBuf)
+						if got > 0 {
+							for i := vlo; i < vhi; i++ {
+								inBuf[halves[i].Color] = nil
+							}
+						}
+					} else {
+						var in map[group.Color]Message
+						for i := vlo; i < vhi; i++ {
+							if msg := slab[mates[i]]; msg != nil {
+								if in == nil {
+									in = make(map[group.Color]Message, vhi-vlo)
+								}
+								in[halves[i].Color] = msg
+								slab[mates[i]] = nil
+								count++
+							}
+						}
+						m.Receive(in)
+					}
+					if m.Halted() {
+						haltTimes[v] = round
+						atomic.AddInt64(&alive, -1)
+					} else {
+						kept = append(kept, v32)
+					}
+				}
+				active = kept
+				bar.wait()
+			}
+			msgCounts[w] = count
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	stats := &Stats{HaltTimes: haltTimes}
+	for _, c := range msgCounts {
+		stats.Messages += c
+	}
+	for v := 0; v < n; v++ {
+		if haltTimes[v] > stats.Rounds {
+			stats.Rounds = haltTimes[v]
+		}
+	}
+	outs := make([]mm.Output, n)
+	for v := 0; v < n; v++ {
+		outs[v] = machines[v].Output()
+	}
+	return outs, stats, nil
+}
+
+// workersState holds the reusable scratch of one RunWorkers call. Pooling
+// it across calls keeps the engine's steady-state allocation footprint at
+// the outputs and statistics it returns, which matters when experiments run
+// thousands of executions back to back.
+type workersState struct {
+	machines []Machine
+	flats    []FlatMachine
+	live     []bool
+	offsets  []int
+	slab     []Message
+}
+
+var workersStatePool = sync.Pool{New: func() any { return &workersState{} }}
+
+// fit resizes the scratch for n nodes and h directed edges. Machine, flat
+// and live entries are fully overwritten by the init loop; the slab must be
+// all-nil, and a previous run can leave stale messages only in slots whose
+// reader halted, so it is cleared here rather than trusted.
+func (st *workersState) fit(n, h int) {
+	if cap(st.machines) < n {
+		st.machines = make([]Machine, n)
+		st.flats = make([]FlatMachine, n)
+		st.live = make([]bool, n)
+		st.offsets = make([]int, n+1)
+	}
+	st.machines = st.machines[:n]
+	st.flats = st.flats[:n]
+	st.live = st.live[:n]
+	st.offsets = st.offsets[:n+1]
+	if cap(st.slab) < h {
+		st.slab = make([]Message, h)
+	} else {
+		st.slab = st.slab[:h]
+		clear(st.slab)
+	}
+}
+
+// barrier is an allocation-free cyclic barrier: the round loop crosses it
+// twice per round, so it must not allocate (a channel-based barrier would).
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n parties have called wait for the current
+// generation, then releases them together.
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,142 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/group"
+)
+
+// TestWorkersMatchSequentialMechanics drives the map-only echoMachine
+// through the workers engine (adapter path) and compares against the
+// sequential reference.
+func TestWorkersMatchSequentialMechanics(t *testing.T) {
+	g := triangleFree(t)
+	factory := func() Machine { return &echoMachine{target: 3, selfName: "w"} }
+	_, seqStats, err := RunSequential(g, factory, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 7} {
+		_, wStats, err := RunWorkersN(g, nil, factory, 10, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if wStats.Rounds != seqStats.Rounds || wStats.Messages != seqStats.Messages {
+			t.Errorf("workers=%d: stats %+v, want %+v", workers, wStats, seqStats)
+		}
+	}
+}
+
+// TestWorkersStaggeredHalting mirrors TestStaggeredHalting for the workers
+// engine, including per-node halt times.
+func TestWorkersStaggeredHalting(t *testing.T) {
+	g, err := graph.PathGraph(4, []group.Color{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []int{1, 3, 2, 4}
+	factoryFor := func() Factory {
+		i := 0
+		return func() Machine {
+			m := &echoMachine{target: targets[i%4], selfName: "n"}
+			i++
+			return m
+		}
+	}
+	_, seqStats, err := RunSequential(g, factoryFor(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wStats, err := RunWorkersN(g, nil, factoryFor(), 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wStats.Rounds != seqStats.Rounds {
+		t.Errorf("rounds: workers %d, sequential %d", wStats.Rounds, seqStats.Rounds)
+	}
+	for v := range seqStats.HaltTimes {
+		if seqStats.HaltTimes[v] != wStats.HaltTimes[v] {
+			t.Errorf("halt time of %d: workers %d, sequential %d", v, wStats.HaltTimes[v], seqStats.HaltTimes[v])
+		}
+	}
+}
+
+// TestWorkersHaltAtTimeZero: machines that halt during Init produce a
+// zero-round, zero-message run.
+func TestWorkersHaltAtTimeZero(t *testing.T) {
+	g := triangleFree(t)
+	_, stats, err := RunWorkers(g, func() Machine { return &echoMachine{target: 0} }, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 0 || stats.Messages != 0 {
+		t.Errorf("rounds=%d messages=%d, want 0/0", stats.Rounds, stats.Messages)
+	}
+}
+
+// TestWorkersMaxRoundsExceeded: the workers engine reports non-termination
+// like the other engines do.
+func TestWorkersMaxRoundsExceeded(t *testing.T) {
+	g := triangleFree(t)
+	factory := func() Machine { return &echoMachine{target: 99, selfName: "z"} }
+	if _, _, err := RunWorkersN(g, nil, factory, 5, 2); err == nil ||
+		!strings.Contains(err.Error(), "no termination") {
+		t.Errorf("err = %v, want termination error", err)
+	}
+}
+
+// TestWorkersEmptyGraph: a zero-node instance runs to completion.
+func TestWorkersEmptyGraph(t *testing.T) {
+	g := graph.New(0, 3)
+	outs, stats, err := RunWorkers(g, func() Machine { return &echoMachine{} }, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 0 || stats.Rounds != 0 {
+		t.Errorf("outs=%v stats=%+v", outs, stats)
+	}
+}
+
+// flatEcho is a FlatMachine variant of echoMachine used to verify the fast
+// path against the adapter path.
+type flatEcho struct {
+	echoMachine
+}
+
+func (m *flatEcho) SendFlat(out []Message) {
+	for _, c := range m.colors {
+		out[c] = m.selfName
+	}
+}
+
+func (m *flatEcho) ReceiveFlat(in []Message) {
+	for c := group.Color(1); int(c) < len(in); c++ {
+		if in[c] != nil {
+			m.heard = append(m.heard, in[c].(string))
+		}
+	}
+	m.rounds++
+	m.halted = m.rounds >= m.target
+}
+
+// TestWorkersFlatFastPath checks that a FlatMachine goes through the dense
+// path and agrees with the same protocol's map path.
+func TestWorkersFlatFastPath(t *testing.T) {
+	g, err := graph.PathGraph(5, []group.Color{1, 2, 3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mapStats, err := RunWorkersN(g, nil, func() Machine { return &echoMachine{target: 3, selfName: "f"} }, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, flatStats, err := RunWorkersN(g, nil, func() Machine { return &flatEcho{echoMachine{target: 3, selfName: "f"}} }, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapStats.Messages != flatStats.Messages || mapStats.Rounds != flatStats.Rounds {
+		t.Errorf("flat %+v, map %+v", flatStats, mapStats)
+	}
+}
