@@ -7,6 +7,7 @@ package repro
 import (
 	"io"
 	"math/rand"
+	goruntime "runtime"
 	"strconv"
 	"testing"
 
@@ -117,6 +118,90 @@ func BenchmarkGreedyMachineEngines(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := runtime.RunWorkers(g, factory, 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReducedPipelineEngines measures the full ReducedGreedyMachine
+// pipeline (Linial reduction + recolouring + greedy) on the sequential
+// reference vs the arena-batched workers engine. Both share one pooled
+// machine arena; with the per-worker RoundArena the workers round loop
+// performs no allocations even though every reduction round sends a colour
+// list per node (BENCH_pr2.json records a baseline).
+func BenchmarkReducedPipelineEngines(b *testing.B) {
+	const delta = 3
+	for _, p := range []struct{ n, k int }{{4096, 256}, {65536, 1024}} {
+		if p.n > 1<<13 && testing.Short() {
+			continue
+		}
+		rng := rand.New(rand.NewSource(2))
+		g := graph.RandomBoundedDegree(p.n, p.k, delta, 5*p.n, rng)
+		g.Flatten()
+		maxR := dist.TotalRounds(p.k, delta) + 8
+		pool := dist.NewReducedGreedyMachinePool(delta, p.n)
+		prefix := "n=" + strconv.Itoa(p.n) + ",k=" + strconv.Itoa(p.k) + "/"
+		b.Run(prefix+"sequential", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := runtime.RunSequential(g, pool, maxR); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(prefix+"workers", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := runtime.RunWorkers(g, pool, maxR); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorkersScaling is the multi-core scaling study for RunWorkersN:
+// the same instance driven with 1…16 workers (independent of GOMAXPROCS, so
+// the shard/barrier overhead is visible even on small hosts). BENCH_pr2.json
+// records a run with the host core count alongside.
+func BenchmarkWorkersScaling(b *testing.B) {
+	for _, n := range []int{1 << 18, 1 << 20} {
+		if n > 1<<18 && testing.Short() {
+			continue
+		}
+		rng := rand.New(rand.NewSource(1))
+		g := graph.RandomMatchingUnion(n, 6, 0.7, rng)
+		g.Flatten()
+		factory := dist.NewGreedyMachinePool(n)
+		for _, workers := range []int{1, 2, 4, 8, 16} {
+			b.Run("n="+strconv.Itoa(n)+"/workers="+strconv.Itoa(workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := runtime.RunWorkersN(g, nil, factory, 64, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE11SweepParallel measures the parallel palette sweep behind E11
+// at several GOMAXPROCS settings; the speedup at procs=N over procs=1 is
+// the sweep's multi-core yield (palette sizes are embarrassingly parallel).
+func BenchmarkE11SweepParallel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("the sweep reaches k=2048; skipped with -short")
+	}
+	ks := []int{4, 8, 16, 64, 256, 1024, 2048}
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run("procs="+strconv.Itoa(procs), func(b *testing.B) {
+			prev := goruntime.GOMAXPROCS(procs)
+			defer goruntime.GOMAXPROCS(prev)
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.E11PaletteSweep(ks, 3); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -6,7 +6,7 @@
 //	mmrun -graph worstcase -k 6                    # §1.2 instance, greedy
 //	mmrun -graph random -n 100 -k 8 -algo proposal
 //	mmrun -graph regular -n 64 -k 5 -engine conc
-//	mmrun -graph regular -n 65536 -k 6 -engine workers
+//	mmrun -graph regular -n 65536 -k 6 -engine workers -workers 8
 //	mmrun -graph cayley -k 4 -radius 4 -algo reduced
 //	mmrun -graph figure1 -dot                      # emit Graphviz with the matching
 package main
@@ -28,6 +28,7 @@ func main() {
 	graphKind := flag.String("graph", "worstcase", "instance: figure1, worstcase, random, regular, bounded, cayley")
 	algName := flag.String("algo", "greedy", "machine: greedy, proposal, reduced")
 	engine := flag.String("engine", "seq", "engine: seq (deterministic), conc (goroutine per node) or workers (flat worker pool)")
+	workers := flag.Int("workers", 0, "worker count for -engine workers (0 = GOMAXPROCS)")
 	n := flag.Int("n", 64, "number of nodes (random/regular/bounded)")
 	k := flag.Int("k", 4, "number of edge colours")
 	delta := flag.Int("delta", 3, "degree bound (bounded graphs, reduced machine)")
@@ -67,7 +68,11 @@ func main() {
 	case "conc":
 		outs, stats, err = runtime.RunConcurrent(g, factory, maxRounds)
 	case "workers":
-		outs, stats, err = runtime.RunWorkers(g, factory, maxRounds)
+		if *workers > 0 {
+			outs, stats, err = runtime.RunWorkersN(g, nil, factory, maxRounds, *workers)
+		} else {
+			outs, stats, err = runtime.RunWorkers(g, factory, maxRounds)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "mmrun: unknown engine %q\n", *engine)
 		os.Exit(2)

@@ -1,11 +1,17 @@
 // Flatengine demonstrates the scale target of the flat execution engine:
-// greedy maximal matching on a random k-regular instance with hundreds of
-// thousands to millions of nodes. Goroutine-per-node execution would need
-// n goroutines and 2|E| channels; the worker-pool engine uses GOMAXPROCS
-// goroutines, a dense per-directed-edge message slab, and an
-// allocation-free round loop, so n = 1<<20 at k = 6 is routine:
+// maximal matching on instances with hundreds of thousands to millions of
+// nodes. Goroutine-per-node execution would need n goroutines and 2|E|
+// channels; the worker-pool engine uses GOMAXPROCS goroutines, a dense
+// per-directed-edge message slab, and an allocation-free round loop, so
+// n = 1<<20 at k = 6 is routine:
 //
 //	go run ./examples/flatengine -n 1048576
+//
+// With -algo reduced it drives the §1.3 colour-reduction pipeline instead:
+// every reduction round sends a colour list per node, and the per-worker
+// round arenas keep even that allocation-free:
+//
+//	go run ./examples/flatengine -algo reduced -n 262144 -k 1024 -delta 3
 package main
 
 import (
@@ -30,20 +36,39 @@ func nodeRoundsPerSec(n, rounds int, elapsed time.Duration) string {
 
 func main() {
 	n := flag.Int("n", 1<<18, "number of nodes (even)")
-	k := flag.Int("k", 6, "palette size / max degree")
-	density := flag.Float64("density", 0.7, "per-colour matching density; 1.0 is k-regular, where greedy degenerately halts at time 0")
+	k := flag.Int("k", 6, "palette size")
+	algo := flag.String("algo", "greedy", "machine: greedy, or reduced (colour reduction first; wants k ≫ delta)")
+	delta := flag.Int("delta", 3, "degree bound for -algo reduced")
+	density := flag.Float64("density", 0.7, "per-colour matching density (greedy instance); 1.0 is k-regular, where greedy degenerately halts at time 0")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
 	start := time.Now()
-	g := graph.RandomMatchingUnion(*n, *k, *density, rng)
+	var g *graph.Graph
+	var factory runtime.Factory
+	var maxRounds, bound int
+	var boundName string
+	switch *algo {
+	case "greedy":
+		g = graph.RandomMatchingUnion(*n, *k, *density, rng)
+		factory = dist.NewGreedyMachinePool(*n)
+		maxRounds = 4 * *k
+		bound, boundName = *k-1, "k−1"
+	case "reduced":
+		g = graph.RandomBoundedDegree(*n, *k, *delta, 5**n, rng)
+		factory = dist.NewReducedGreedyMachinePool(*delta, *n)
+		bound, boundName = dist.TotalRounds(*k, *delta), "TotalRounds(k, Δ)"
+		maxRounds = bound + 8
+	default:
+		log.Fatalf("unknown -algo %q (want greedy or reduced)", *algo)
+	}
 	g.Flatten()
 	fmt.Printf("instance:  n = %d, |E| = %d, k = %d (built in %v)\n",
 		g.N(), g.NumEdges(), g.K(), time.Since(start).Round(time.Millisecond))
 
 	start = time.Now()
-	outs, stats, err := runtime.RunWorkers(g, dist.NewGreedyMachine, 4*g.K())
+	outs, stats, err := runtime.RunWorkers(g, factory, maxRounds)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,8 +80,8 @@ func main() {
 			matched++
 		}
 	}
-	fmt.Printf("greedy:    %d rounds (bound k−1 = %d), %d messages\n",
-		stats.Rounds, g.K()-1, stats.Messages)
+	fmt.Printf("%-10s %d rounds (bound %s = %d), %d messages\n",
+		*algo+":", stats.Rounds, boundName, bound, stats.Messages)
 	fmt.Printf("matching:  %d of %d nodes matched\n", matched, g.N())
 	fmt.Printf("engine:    %v wall clock — %s on a fixed worker pool\n",
 		elapsed.Round(time.Millisecond), nodeRoundsPerSec(g.N(), stats.Rounds, elapsed))

@@ -44,14 +44,25 @@ type BipartiteMachine struct {
 // NewBipartiteMachine is a runtime.Factory for BipartiteMachine.
 func NewBipartiteMachine() runtime.Machine { return &BipartiteMachine{} }
 
+// NewBipartiteMachinePool returns a runtime.Factory backed by a fixed arena
+// of n machines reused across runs, like NewGreedyMachinePool: Init fully
+// resets a machine while keeping its live-edge scratch. Not safe for
+// concurrent calls.
+func NewBipartiteMachinePool(n int) runtime.Factory {
+	arena := make([]BipartiteMachine, n)
+	next := 0
+	return func() runtime.Machine {
+		m := &arena[next%n]
+		next++
+		return m
+	}
+}
+
 // Init implements runtime.Machine.
 func (m *BipartiteMachine) Init(info runtime.NodeInfo) {
 	m.side = info.Label
 	m.colors = info.Colors
-	m.live = make([]bool, len(m.colors))
-	for i := range m.live {
-		m.live[i] = true
-	}
+	m.live = resetLive(m.live, len(m.colors))
 	m.nlive = len(m.colors)
 	m.round = 0
 	m.next = 0

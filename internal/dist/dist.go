@@ -60,6 +60,20 @@ func isWire(msg runtime.Message, w wire) bool {
 	return ok && got == w
 }
 
+// resetLive returns an all-true live-edge vector of length n, reusing the
+// given buffer's capacity so pooled machines re-initialise without
+// allocating.
+func resetLive(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		buf = make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = true
+	}
+	return buf
+}
+
 // GreedyMachine is the distributed greedy algorithm of §1.2. Colour class c
 // is decided at time c−1: class 1 pairs match immediately at initialisation,
 // and for c ≥ 2 a free node announces "free" along its colour-c edge in

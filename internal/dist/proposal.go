@@ -27,13 +27,24 @@ type ProposalMachine struct {
 // NewProposalMachine is a runtime.Factory for ProposalMachine.
 func NewProposalMachine() runtime.Machine { return &ProposalMachine{} }
 
+// NewProposalMachinePool returns a runtime.Factory backed by a fixed arena
+// of n machines reused across runs, like NewGreedyMachinePool: Init fully
+// resets a machine while keeping its live-edge scratch, so repeated runs
+// allocate nothing per node. Not safe for concurrent calls.
+func NewProposalMachinePool(n int) runtime.Factory {
+	arena := make([]ProposalMachine, n)
+	next := 0
+	return func() runtime.Machine {
+		m := &arena[next%n]
+		next++
+		return m
+	}
+}
+
 // Init implements runtime.Machine. Isolated nodes halt unmatched at time 0.
 func (m *ProposalMachine) Init(info runtime.NodeInfo) {
 	m.colors = info.Colors
-	m.live = make([]bool, len(m.colors))
-	for i := range m.live {
-		m.live[i] = true
-	}
+	m.live = resetLive(m.live, len(m.colors))
 	m.nlive = len(m.colors)
 	m.prop = -1
 	m.halted = false

@@ -36,11 +36,14 @@ type ReducedGreedyMachine struct {
 	colors  []group.Color // original incident colours (ascending); the output vocabulary
 	cur     []group.Color // current reduced colour per position
 	sched   []Step
-	sRounds int         // phase-1 rounds (= len(sched))
-	rRounds int         // phase-2 rounds (= fixed-point palette − (2Δ−1), if positive)
-	qstar   int         // fixed-point palette after phase 1
-	target  int         // 2Δ−1
-	maxCur  group.Color // largest reduced colour, valid once greedy starts
+	schedK  int           // palette the cached schedule was computed for (0 = none)
+	next    []group.Color // phase-1 scratch: colours after the current step
+	blocked []int         // scratch for blockedFor, reused across rounds
+	sRounds int           // phase-1 rounds (= len(sched))
+	rRounds int           // phase-2 rounds (= fixed-point palette − (2Δ−1), if positive)
+	qstar   int           // fixed-point palette after phase 1
+	target  int           // 2Δ−1
+	maxCur  group.Color   // largest reduced colour, valid once greedy starts
 	round   int
 	halted  bool
 	out     mm.Output
@@ -50,6 +53,25 @@ type ReducedGreedyMachine struct {
 // reduce the palette for instances of maximum degree ≤ delta.
 func NewReducedGreedyMachine(delta int) runtime.Factory {
 	return func() runtime.Machine { return &ReducedGreedyMachine{delta: delta} }
+}
+
+// NewReducedGreedyMachinePool returns a runtime.Factory backed by a fixed
+// arena of n machines reused across runs, like NewGreedyMachinePool: Init
+// fully resets a machine while keeping its scratch capacity and its cached
+// reduction schedule, so repeated runs on same-shaped instances allocate
+// nothing per node. The factory hands out arena slots cyclically and is not
+// safe for concurrent calls.
+func NewReducedGreedyMachinePool(delta, n int) runtime.Factory {
+	arena := make([]ReducedGreedyMachine, n)
+	for i := range arena {
+		arena[i].delta = delta
+	}
+	next := 0
+	return func() runtime.Machine {
+		m := &arena[next%n]
+		next++
+		return m
+	}
 }
 
 // Init implements runtime.Machine. Every node computes the shared reduction
@@ -68,7 +90,12 @@ func (m *ReducedGreedyMachine) Init(info runtime.NodeInfo) {
 	if d < 1 {
 		d = 1
 	}
-	m.sched = ReductionSchedule(info.K, 2*(d-1))
+	// The schedule depends only on (k, Δ); pooled machines re-initialised
+	// for the same palette reuse the cached one instead of recomputing.
+	if m.schedK != info.K {
+		m.sched = ReductionSchedule(info.K, 2*(d-1))
+		m.schedK = info.K
+	}
 	m.sRounds = len(m.sched)
 	m.qstar = info.K
 	if m.sRounds > 0 {
@@ -79,8 +106,7 @@ func (m *ReducedGreedyMachine) Init(info runtime.NodeInfo) {
 	if m.qstar > m.target {
 		m.rRounds = m.qstar - m.target
 	}
-	m.cur = make([]group.Color, len(m.colors))
-	copy(m.cur, m.colors)
+	m.cur = append(m.cur[:0], m.colors...)
 	if m.sRounds+m.rRounds == 0 {
 		m.greedyStart()
 	}
@@ -101,11 +127,18 @@ func (m *ReducedGreedyMachine) greedyStart() {
 	}
 }
 
-// colorList snapshots the node's current edge colours; the same slice is
-// sent on every edge (receivers only read it).
-func (m *ReducedGreedyMachine) colorList() []group.Color {
-	l := make([]group.Color, len(m.cur))
-	copy(l, m.cur)
+// colorList snapshots the node's current edge colours as a *ColorList; the
+// same payload is sent on every edge (receivers only read it). With an
+// arena the snapshot lives in the worker's pooled slab and costs nothing;
+// without one (sequential/concurrent engines) it is heap-allocated.
+func (m *ReducedGreedyMachine) colorList(arena *runtime.RoundArena) *runtime.ColorList {
+	var l *runtime.ColorList
+	if arena != nil {
+		l = arena.ColorList(len(m.cur))
+	} else {
+		l = &runtime.ColorList{Colors: make([]group.Color, 0, len(m.cur))}
+	}
+	l.Colors = append(l.Colors, m.cur...)
 	return l
 }
 
@@ -121,10 +154,12 @@ func (m *ReducedGreedyMachine) greedyPos(r int) int {
 	return -1
 }
 
-func (m *ReducedGreedyMachine) send(emit func(group.Color, runtime.Message)) {
+func (m *ReducedGreedyMachine) send(emit func(group.Color, runtime.Message), arena *runtime.RoundArena) {
 	r := m.round + 1
 	if r <= m.sRounds+m.rRounds {
-		msg := runtime.Message(m.colorList())
+		// Boxing the *ColorList into the Message interface stores one
+		// pointer word, so the arena path performs no allocation at all.
+		msg := runtime.Message(m.colorList(arena))
 		for _, c := range m.colors {
 			emit(c, msg)
 		}
@@ -137,7 +172,15 @@ func (m *ReducedGreedyMachine) send(emit func(group.Color, runtime.Message)) {
 
 // SendFlat implements runtime.FlatMachine.
 func (m *ReducedGreedyMachine) SendFlat(out []runtime.Message) {
-	m.send(func(c group.Color, msg runtime.Message) { out[c] = msg })
+	m.send(func(c group.Color, msg runtime.Message) { out[c] = msg }, nil)
+}
+
+// SendFlatArena implements runtime.ArenaMachine: identical to SendFlat
+// except that colour-list payloads are bump-allocated from the per-worker
+// round arena, making the reduction and recolouring phases allocation-free
+// under the workers engine.
+func (m *ReducedGreedyMachine) SendFlatArena(out []runtime.Message, arena *runtime.RoundArena) {
+	m.send(func(c group.Color, msg runtime.Message) { out[c] = msg }, arena)
 }
 
 // Send implements runtime.Machine.
@@ -148,16 +191,17 @@ func (m *ReducedGreedyMachine) Send() map[group.Color]runtime.Message {
 			out = make(map[group.Color]runtime.Message, len(m.colors))
 		}
 		out[c] = msg
-	})
+	}, nil)
 	return out
 }
 
 // blockedFor collects the colours of all edges adjacent to position i: the
 // node's other edges plus the peer's other edges. peerList contains the
 // peer's full list, so exactly one entry — the shared edge's own colour —
-// is dropped.
+// is dropped. The result aliases the machine's reusable scratch buffer and
+// is valid until the next call.
 func (m *ReducedGreedyMachine) blockedFor(i int, peerList []group.Color) []int {
-	blocked := make([]int, 0, len(m.cur)+len(peerList)-2)
+	blocked := m.blocked[:0]
 	for j, c := range m.cur {
 		if j != i {
 			blocked = append(blocked, int(c))
@@ -172,6 +216,7 @@ func (m *ReducedGreedyMachine) blockedFor(i int, peerList []group.Color) []int {
 		}
 		blocked = append(blocked, int(c))
 	}
+	m.blocked = blocked
 	return blocked
 }
 
@@ -181,8 +226,13 @@ func (m *ReducedGreedyMachine) receive(get func(group.Color) (runtime.Message, b
 	switch {
 	case r <= m.sRounds:
 		// Phase 1: one Linial step; every edge recolours simultaneously.
+		// The next-colours scratch persists on the machine so pooled runs
+		// do not re-allocate it every round.
 		st := m.sched[r-1]
-		next := make([]group.Color, len(m.cur))
+		if cap(m.next) < len(m.cur) {
+			m.next = make([]group.Color, len(m.cur))
+		}
+		next := m.next[:len(m.cur)]
 		for i := range m.cur {
 			peerList := m.peerList(get, i)
 			nc, ok := stepColor(st, int(m.cur[i]), m.blockedFor(i, peerList))
@@ -234,11 +284,11 @@ func (m *ReducedGreedyMachine) peerList(get func(group.Color) (runtime.Message, 
 	if !ok {
 		panic("dist: reduction round missing a neighbour's colour list")
 	}
-	list, ok := msg.([]group.Color)
+	list, ok := msg.(*runtime.ColorList)
 	if !ok {
 		panic("dist: reduction round received a non-colour-list message")
 	}
-	return list
+	return list.Colors
 }
 
 // ReceiveFlat implements runtime.FlatMachine.

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"sort"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/colsys"
 	"repro/internal/group"
@@ -52,6 +53,11 @@ type Graph struct {
 	k    int
 	adj  []map[group.Color]int // adj[v][c] = peer behind colour c at v
 	flat flatAdj
+	// edges caches the Edges() result; nil after a mutation. It is an
+	// atomic pointer so that Edges() stays safe for the concurrent readers
+	// the Flatten contract allows (two racing fills build identical slices
+	// and either may win).
+	edges atomic.Pointer[[]Edge]
 }
 
 // flatAdj is the CSR mirror of adj: halves[offsets[v]:offsets[v+1]] are
@@ -153,6 +159,7 @@ func (g *Graph) AddEdge(u, v int, c group.Color) error {
 	g.adj[u][c] = v
 	g.adj[v][c] = u
 	g.flat.valid = false
+	g.edges.Store(nil)
 	return nil
 }
 
@@ -217,27 +224,42 @@ func (g *Graph) Mates() []int {
 	return g.flat.mates
 }
 
-// Edges returns all edges sorted by (U, V).
+// Edges returns all edges sorted by (U, V). The slice is derived from the
+// flat CSR adjacency and cached until the next mutation, so repeated
+// callers (recolouring, harness tables) pay the O(m log m) build only once.
+// The result is shared: callers must not modify it. Like the other flat
+// reads, Edges is safe for concurrent use once the graph has been
+// explicitly flattened.
 func (g *Graph) Edges() []Edge {
-	var out []Edge
+	if p := g.edges.Load(); p != nil {
+		return *p
+	}
+	g.Flatten()
+	out := make([]Edge, 0, len(g.flat.halves)/2)
 	for u := range g.adj {
-		for c, v := range g.adj[u] {
-			if u < v {
-				out = append(out, Edge{U: u, V: v, Color: c})
+		lo, hi := g.flat.offsets[u], g.flat.offsets[u+1]
+		start := len(out)
+		for i := lo; i < hi; i++ {
+			if h := g.flat.halves[i]; u < h.Peer {
+				out = append(out, Edge{U: u, V: h.Peer, Color: h.Color})
 			}
 		}
+		// Halves are colour-sorted; re-sort this node's few edges by peer
+		// so the global order is (U, V) as documented.
+		seg := out[start:]
+		sort.Slice(seg, func(a, b int) bool { return seg[a].V < seg[b].V })
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].V < out[j].V
-	})
+	g.edges.Store(&out)
 	return out
 }
 
-// NumEdges returns |E|.
+// NumEdges returns |E|: O(1) from the CSR arrays when the flat state is
+// current, a map walk otherwise (so graphs under construction do not
+// re-flatten on every query).
 func (g *Graph) NumEdges() int {
+	if g.flat.valid {
+		return len(g.flat.halves) / 2
+	}
 	total := 0
 	for v := range g.adj {
 		total += len(g.adj[v])
@@ -389,6 +411,12 @@ func MatchingEdges(g *Graph, outs []mm.Output) []Edge {
 // classes in the given order (nil = 1…k), matching each edge whose
 // endpoints are both free. It is the reference implementation for the
 // distributed variants.
+//
+// It runs on the CSR path: one pass over Halves()/Mates() buckets the
+// undirected edges by colour, then each class is scanned once — O(m + k)
+// total, instead of rebuilding and re-sorting the edge list per class.
+// Within a class the scan order is irrelevant: a colour class of a proper
+// colouring is a matching, so its edges' decisions are independent.
 func SequentialGreedy(g *Graph, order []group.Color) []mm.Output {
 	if order == nil {
 		order = make([]group.Color, g.k)
@@ -396,15 +424,46 @@ func SequentialGreedy(g *Graph, order []group.Color) []mm.Output {
 			order[i] = group.Color(i + 1)
 		}
 	}
+	g.Flatten()
+	halves := g.Halves()
+	mates := g.Mates()
 	outs := make([]mm.Output, g.N())
-	for _, c := range order {
-		for _, e := range g.Edges() {
-			if e.Color != c {
-				continue
+
+	// Bucket by colour: count, prefix-sum, fill (counting sort on edges).
+	counts := make([]int, g.k+2)
+	for i, h := range halves {
+		if i < mates[i] { // each undirected edge once
+			counts[h.Color+1]++
+		}
+	}
+	for c := 1; c < len(counts); c++ {
+		counts[c] += counts[c-1]
+	}
+	starts := counts // starts[c] … starts[c+1] is colour c's bucket
+	type pair struct{ u, v int }
+	edges := make([]pair, len(halves)/2)
+	fill := make([]int, g.k+1)
+	for v := range g.adj {
+		lo, hi := g.flat.offsets[v], g.flat.offsets[v+1]
+		for i := lo; i < hi; i++ {
+			if i < mates[i] {
+				c := halves[i].Color
+				p := starts[c] + fill[c]
+				fill[c]++
+				edges[p] = pair{u: v, v: halves[i].Peer}
 			}
-			if !outs[e.U].IsMatched() && !outs[e.V].IsMatched() {
-				outs[e.U] = mm.Matched(c)
-				outs[e.V] = mm.Matched(c)
+		}
+	}
+
+	for _, c := range order {
+		if c < 1 || int(c) > g.k {
+			continue // no such class; the old map path matched nothing too
+		}
+		for p := starts[c]; p < starts[c+1]; p++ {
+			e := edges[p]
+			if !outs[e.u].IsMatched() && !outs[e.v].IsMatched() {
+				outs[e.u] = mm.Matched(c)
+				outs[e.v] = mm.Matched(c)
 			}
 		}
 	}

@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/group"
+	"repro/internal/mm"
+)
+
+// seqGreedyMapPath is the pre-CSR implementation of SequentialGreedy,
+// kept verbatim as the regression oracle: it walks the (freshly rebuilt)
+// edge list once per colour class.
+func seqGreedyMapPath(g *Graph, order []group.Color) []mm.Output {
+	if order == nil {
+		order = make([]group.Color, g.k)
+		for i := range order {
+			order[i] = group.Color(i + 1)
+		}
+	}
+	outs := make([]mm.Output, g.N())
+	for _, c := range order {
+		for _, e := range g.Edges() {
+			if e.Color != c {
+				continue
+			}
+			if !outs[e.U].IsMatched() && !outs[e.V].IsMatched() {
+				outs[e.U] = mm.Matched(c)
+				outs[e.V] = mm.Matched(c)
+			}
+		}
+	}
+	return outs
+}
+
+func assertSameOutputs(t *testing.T, name string, g *Graph, order []group.Color) {
+	t.Helper()
+	want := seqGreedyMapPath(g, order)
+	got := SequentialGreedy(g, order)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d outputs, want %d", name, len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Errorf("%s: node %d: CSR path %v, map path %v", name, v, got[v], want[v])
+		}
+	}
+	if order == nil {
+		if err := CheckMatching(g, got); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestSequentialGreedyCSRMatchesMapPath pins the CSR port of
+// SequentialGreedy to the old per-class edge-walk implementation on
+// worst-case and random instances, including custom class orders.
+func TestSequentialGreedyCSRMatchesMapPath(t *testing.T) {
+	for _, k := range []int{2, 3, 5, 9} {
+		wc, err := NewWorstCase(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameOutputs(t, "worstcase", wc.G, nil)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{3, 6, 11} {
+		g := RandomMatchingUnion(200, k, 0.7, rng)
+		assertSameOutputs(t, "union", g, nil)
+
+		// Reverse order exercises non-monotone class scheduling.
+		rev := make([]group.Color, k)
+		for i := range rev {
+			rev[i] = group.Color(k - i)
+		}
+		assertSameOutputs(t, "union/reverse", g, rev)
+
+		// Duplicates and out-of-palette colours must be tolerated alike.
+		odd := []group.Color{2, 2, 0, group.Color(k + 5), 1, 2}
+		assertSameOutputs(t, "union/odd-order", g, odd)
+	}
+
+	for _, k := range []int{64, 256} {
+		g := RandomBoundedDegree(150, k, 3, 900, rng)
+		assertSameOutputs(t, "bounded", g, nil)
+	}
+}
+
+// TestEdgesConcurrentAfterFlatten: Edges() participates in the Flatten
+// contract — after an explicit Flatten, concurrent callers (including the
+// racing first fill of the cache) are safe. The -race CI job gives this
+// test its teeth.
+func TestEdgesConcurrentAfterFlatten(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := RandomMatchingUnion(128, 4, 0.8, rng)
+	g.Flatten()
+	want := g.NumEdges()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := len(g.Edges()); got != want {
+				t.Errorf("concurrent Edges(): %d edges, want %d", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestEdgesCachedAndCSRDerived: the edge list is derived from the CSR
+// arrays, cached across calls, and correctly invalidated by mutation.
+func TestEdgesCachedAndCSRDerived(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomMatchingUnion(64, 5, 0.8, rng)
+
+	first := g.Edges()
+	m := g.NumEdges()
+	if len(first) != m {
+		t.Fatalf("Edges() has %d entries, NumEdges() says %d", len(first), m)
+	}
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		if a.U > b.U || (a.U == b.U && a.V >= b.V) {
+			t.Fatalf("edges not (U,V)-sorted at %d: %+v then %+v", i-1, a, b)
+		}
+	}
+	for _, e := range first {
+		peer, ok := g.Neighbor(e.U, e.Color)
+		if !ok || peer != e.V {
+			t.Fatalf("edge %+v not present in adjacency", e)
+		}
+	}
+	second := g.Edges()
+	if &first[0] != &second[0] {
+		t.Error("Edges() rebuilt the slice on an unmutated graph")
+	}
+
+	// Mutation invalidates the cache and the new edge shows up.
+	u, v := 0, 1
+	var free group.Color
+	for c := group.Color(1); int(c) <= g.K() && free == 0; c++ {
+		if _, ok := g.Neighbor(u, c); ok {
+			continue
+		}
+		if _, ok := g.Neighbor(v, c); ok {
+			continue
+		}
+		if peer, ok := g.Neighbor(u, 0); ok && peer == v {
+			continue
+		}
+		free = c
+	}
+	already := false
+	for _, e := range first {
+		if e.U == u && e.V == v {
+			already = true
+		}
+	}
+	if free == 0 || already {
+		t.Skip("no free colour for the mutation probe on this instance")
+	}
+	if err := g.AddEdge(u, v, free); err != nil {
+		t.Skipf("mutation probe rejected: %v", err)
+	}
+	third := g.Edges()
+	if len(third) != m+1 {
+		t.Fatalf("after AddEdge: %d edges, want %d", len(third), m+1)
+	}
+	if g.NumEdges() != m+1 {
+		t.Fatalf("NumEdges after AddEdge: %d, want %d", g.NumEdges(), m+1)
+	}
+}

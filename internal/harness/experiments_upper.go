@@ -151,10 +151,98 @@ func viewAgreement(wc *graph.WorstCase) (equal, differ int, err error) {
 	return k + 1, 0, nil
 }
 
+// e11Row is one palette size's measurements in the E11 sweep.
+type e11Row struct {
+	k           int
+	greedyWorst int
+	greedyRand  int
+	pred        int
+	reducedRand int
+	propRand    int
+	propWorst   int
+}
+
+// e11Measure runs the full E11 battery for one palette size. It is
+// self-contained — the rng is derived from k, not shared with other
+// palette sizes — so the sweep can fan out across a worker pool without
+// changing any row.
+func e11Measure(k, delta int) (e11Row, error) {
+	row := e11Row{k: k}
+	wc, err := graph.NewWorstCase(k)
+	if err != nil {
+		return row, err
+	}
+	maxR := 4*k + wc.G.N() + 16
+	_, greedyWorst, err := runtime.RunSequential(wc.G, dist.NewGreedyMachine, maxR)
+	if err != nil {
+		return row, err
+	}
+	_, propWorst, err := runtime.RunSequential(wc.G, dist.NewProposalMachine, maxR)
+	if err != nil {
+		return row, err
+	}
+
+	rng := rand.New(rand.NewSource(11<<16 + int64(k)))
+	g := graph.RandomBoundedDegree(128, k, delta, 600, rng)
+	outs, greedyRand, err := runtime.RunSequential(g, dist.NewGreedyMachine, maxR)
+	if err != nil {
+		return row, err
+	}
+	if err := graph.CheckMatching(g, outs); err != nil {
+		return row, err
+	}
+	row.pred = dist.TotalRounds(k, delta)
+	outs, reducedRand, err := runtime.RunSequential(g, dist.NewReducedGreedyMachine(delta), row.pred+8)
+	if err != nil {
+		return row, err
+	}
+	if err := graph.CheckMatching(g, outs); err != nil {
+		return row, err
+	}
+	// Cross-check the arena-batched workers engine against the sequential
+	// reference on the reduced pipeline — the heaviest message path.
+	wouts, wstats, err := runtime.RunWorkers(g, dist.NewReducedGreedyMachinePool(delta, g.N()), row.pred+8)
+	if err != nil {
+		return row, err
+	}
+	for v := range wouts {
+		if wouts[v] != outs[v] {
+			return row, fmt.Errorf("k=%d: workers engine diverges at node %d (%v vs %v)", k, v, wouts[v], outs[v])
+		}
+	}
+	if wstats.Rounds != reducedRand.Rounds {
+		return row, fmt.Errorf("k=%d: workers rounds %d, sequential %d", k, wstats.Rounds, reducedRand.Rounds)
+	}
+	outs, propRand, err := runtime.RunSequential(g, dist.NewProposalMachine, maxR)
+	if err != nil {
+		return row, err
+	}
+	if err := graph.CheckMatching(g, outs); err != nil {
+		return row, err
+	}
+
+	row.greedyWorst = greedyWorst.Rounds
+	row.greedyRand = greedyRand.Rounds
+	row.reducedRand = reducedRand.Rounds
+	row.propRand = propRand.Rounds
+	row.propWorst = propWorst.Rounds
+	return row, nil
+}
+
+// E11PaletteSweep runs the E11 measurement for every palette size on a
+// bounded worker pool and returns the rows in palette order. Exported so
+// the top-level benchmarks can measure the sweep's parallel speedup.
+func E11PaletteSweep(ks []int, delta int) ([]e11Row, error) {
+	return ParallelSweep(ks, func(k int) (e11Row, error) { return e11Measure(k, delta) })
+}
+
 // e11 measures the §1.3 upper-bound regime: for fixed Δ, greedy's rounds
 // grow linearly in k while colour reduction + greedy grows like log* k
 // (plus a Δ-dependent constant); the proposal baseline is palette-
-// independent on random instances but linear on adversarial chains.
+// independent on random instances but linear on adversarial chains. The
+// sweep over palette sizes is embarrassingly parallel, so the rows are
+// computed on a worker pool (bounded by GOMAXPROCS) and rendered in
+// deterministic palette order.
 func e11() Experiment {
 	return Experiment{
 		ID:    "E11",
@@ -164,52 +252,17 @@ func e11() Experiment {
 			const delta = 3
 			table := NewTable("k", "log*k", "greedy (worst)", "greedy (random)",
 				"reduced (pred)", "reduced (random)", "proposal (random)", "proposal (worst)")
-			rng := rand.New(rand.NewSource(11))
+			rows, err := E11PaletteSweep([]int{4, 8, 16, 64, 256, 1024, 2048}, delta)
+			if err != nil {
+				return err
+			}
 			crossover := -1
-			for _, k := range []int{4, 8, 16, 64, 256, 1024, 2048} {
-				wc, err := graph.NewWorstCase(k)
-				if err != nil {
-					return err
+			for _, row := range rows {
+				if crossover < 0 && row.pred < row.k-1 {
+					crossover = row.k
 				}
-				maxR := 4*k + wc.G.N() + 16
-				_, greedyWorst, err := runtime.RunSequential(wc.G, dist.NewGreedyMachine, maxR)
-				if err != nil {
-					return err
-				}
-				_, propWorst, err := runtime.RunSequential(wc.G, dist.NewProposalMachine, maxR)
-				if err != nil {
-					return err
-				}
-
-				g := graph.RandomBoundedDegree(128, k, delta, 600, rng)
-				outs, greedyRand, err := runtime.RunSequential(g, dist.NewGreedyMachine, maxR)
-				if err != nil {
-					return err
-				}
-				if err := graph.CheckMatching(g, outs); err != nil {
-					return err
-				}
-				pred := dist.TotalRounds(k, delta)
-				outs, reducedRand, err := runtime.RunSequential(g, dist.NewReducedGreedyMachine(delta), pred+8)
-				if err != nil {
-					return err
-				}
-				if err := graph.CheckMatching(g, outs); err != nil {
-					return err
-				}
-				outs, propRand, err := runtime.RunSequential(g, dist.NewProposalMachine, maxR)
-				if err != nil {
-					return err
-				}
-				if err := graph.CheckMatching(g, outs); err != nil {
-					return err
-				}
-
-				if crossover < 0 && pred < k-1 {
-					crossover = k
-				}
-				table.AddRow(k, logstar.LogStar(k), greedyWorst.Rounds, greedyRand.Rounds,
-					pred, reducedRand.Rounds, propRand.Rounds, propWorst.Rounds)
+				table.AddRow(row.k, logstar.LogStar(row.k), row.greedyWorst, row.greedyRand,
+					row.pred, row.reducedRand, row.propRand, row.propWorst)
 			}
 			table.Render(w)
 			if crossover < 0 {

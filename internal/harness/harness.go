@@ -10,7 +10,9 @@ package harness
 import (
 	"fmt"
 	"io"
+	goruntime "runtime"
 	"sort"
+	"sync"
 )
 
 // Experiment is one reproducible artefact of the paper.
@@ -61,6 +63,36 @@ func RunAll(w io.Writer) error {
 		fmt.Fprintln(w)
 	}
 	return firstErr
+}
+
+// ParallelSweep runs f over every input on a worker pool — one goroutine
+// per input, at most GOMAXPROCS in flight — and returns the results in
+// input order, so a parallelised sweep renders identically to a serial one.
+// Every input runs even after a failure; the first error (in input order)
+// is returned. f must be safe for concurrent invocation: sweeps that draw
+// random instances should derive an independent seed per input rather than
+// share an rng.
+func ParallelSweep[K, T any](inputs []K, f func(K) (T, error)) ([]T, error) {
+	results := make([]T, len(inputs))
+	errs := make([]error, len(inputs))
+	sem := make(chan struct{}, max(1, goruntime.GOMAXPROCS(0)))
+	var wg sync.WaitGroup
+	for i := range inputs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = f(inputs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
 }
 
 // Table is a minimal aligned text-table writer for experiment output.

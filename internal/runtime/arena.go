@@ -1,0 +1,90 @@
+package runtime
+
+import "repro/internal/group"
+
+// ColorList is the colour-list message payload used by the reduction-style
+// machines: a node's current incident edge colours, snapshotted for one
+// round. Machines send *ColorList rather than a bare slice because boxing a
+// pointer into the Message interface stores a single word and never
+// allocates, whereas boxing a slice copies a three-word header to the heap
+// on every send. Receivers may read Colors during their receive call only;
+// the backing memory is recycled when the round ends.
+type ColorList struct {
+	Colors []group.Color
+}
+
+// RoundArena is a per-worker bump allocator for one round's outgoing
+// message payloads. The engine hands it to ArenaMachine implementations
+// during the send phase and resets it once the round's receive phase has
+// completed behind a barrier, so payloads written into it live exactly as
+// long as the messages that reference them are in flight.
+//
+// Contract for ArenaMachine implementers:
+//
+//   - Allocate payloads only during SendFlatArena, only from the arena
+//     passed in, and do not retain the arena itself across calls.
+//   - A payload may be shared across all of the node's outgoing edges in
+//     the same round (receivers only read it).
+//   - Receivers must not retain a payload — or any slice into it — past
+//     the ReceiveFlat call that delivered it; the arena recycles the
+//     backing slabs on the next round's send phase.
+//
+// The zero value is ready to use; slabs grow on demand and are retained
+// across Reset, so a pooled arena reaches a steady state where whole
+// rounds allocate nothing.
+type RoundArena struct {
+	lists  []ColorList
+	colors []group.Color
+	nl, nc int
+}
+
+// ColorList returns a zero-length list with capacity for n colours, valid
+// until the next Reset. Growth reallocates the slabs, but payloads already
+// handed out keep the old backing arrays alive, so outstanding messages
+// remain intact.
+func (a *RoundArena) ColorList(n int) *ColorList {
+	if a.nl == len(a.lists) {
+		size := 2 * len(a.lists)
+		if size < 64 {
+			size = 64
+		}
+		a.lists = make([]ColorList, size)
+		a.nl = 0
+	}
+	l := &a.lists[a.nl]
+	a.nl++
+	if a.nc+n > len(a.colors) {
+		size := 2 * len(a.colors)
+		if size < n {
+			size = n
+		}
+		if size < 256 {
+			size = 256
+		}
+		a.colors = make([]group.Color, size)
+		a.nc = 0
+	}
+	l.Colors = a.colors[a.nc : a.nc : a.nc+n]
+	a.nc += n
+	return l
+}
+
+// Reset recycles the arena for the next round. Previously handed-out
+// payloads become invalid: the engine calls this only after a barrier
+// guarantees every receiver of the round is done with them.
+func (a *RoundArena) Reset() {
+	a.nl = 0
+	a.nc = 0
+}
+
+// ArenaMachine is an optional extension of FlatMachine for machines whose
+// messages carry variable-length payloads (colour lists). When the engine
+// provides a RoundArena, SendFlatArena replaces SendFlat: the machine bump-
+// allocates its payloads from the arena instead of the heap, which makes
+// the reduction phases of ReducedGreedyMachine as allocation-free as the
+// greedy phase. The out buffer follows the SendFlat contract; see
+// RoundArena for the payload lifetime rules.
+type ArenaMachine interface {
+	FlatMachine
+	SendFlatArena(out []Message, arena *RoundArena)
+}

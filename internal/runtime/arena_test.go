@@ -1,0 +1,73 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/group"
+)
+
+// TestRoundArenaPayloadsSurviveGrowth: payloads handed out before a slab
+// grows must stay intact, because their messages are still in flight.
+func TestRoundArenaPayloadsSurviveGrowth(t *testing.T) {
+	var a RoundArena
+	var lists []*ColorList
+	for i := 0; i < 500; i++ {
+		l := a.ColorList(3)
+		l.Colors = append(l.Colors, group.Color(i), group.Color(i+1), group.Color(i+2))
+		lists = append(lists, l)
+	}
+	for i, l := range lists {
+		if len(l.Colors) != 3 || l.Colors[0] != group.Color(i) || l.Colors[2] != group.Color(i+2) {
+			t.Fatalf("payload %d corrupted after growth: %v", i, l.Colors)
+		}
+	}
+}
+
+// TestRoundArenaListsAreDisjoint: two payloads from the same round must not
+// alias each other's colour storage.
+func TestRoundArenaListsAreDisjoint(t *testing.T) {
+	var a RoundArena
+	l1 := a.ColorList(4)
+	l2 := a.ColorList(4)
+	l1.Colors = append(l1.Colors, 1, 2, 3, 4)
+	l2.Colors = append(l2.Colors, 9, 9, 9, 9)
+	if l1 == l2 {
+		t.Fatal("arena returned the same record twice")
+	}
+	if l1.Colors[0] != 1 || l1.Colors[3] != 4 {
+		t.Fatalf("l1 clobbered by l2: %v", l1.Colors)
+	}
+}
+
+// TestRoundArenaResetRecycles: after Reset the arena reuses its slabs and a
+// warm arena allocates nothing per round.
+func TestRoundArenaResetRecycles(t *testing.T) {
+	var a RoundArena
+	// Warm the slabs to their steady-state size.
+	for r := 0; r < 3; r++ {
+		a.Reset()
+		for i := 0; i < 32; i++ {
+			l := a.ColorList(5)
+			l.Colors = append(l.Colors, 1, 2, 3, 4, 5)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		a.Reset()
+		for i := 0; i < 32; i++ {
+			l := a.ColorList(5)
+			l.Colors = append(l.Colors, 1, 2, 3, 4, 5)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm arena round allocated %.1f times, want 0", allocs)
+	}
+}
+
+// TestRoundArenaZeroLength: zero-length lists are legal (isolated positions).
+func TestRoundArenaZeroLength(t *testing.T) {
+	var a RoundArena
+	l := a.ColorList(0)
+	if len(l.Colors) != 0 {
+		t.Fatalf("zero-capacity list has length %d", len(l.Colors))
+	}
+}

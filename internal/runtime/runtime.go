@@ -21,11 +21,14 @@
 //     halting node sends a final farewell frame; its neighbours thereafter
 //     treat the edge as silent.
 //   - RunWorkers: a fixed worker pool with a round barrier, nodes sharded
-//     across workers and messages stored in dense per-directed-edge slots,
-//     so the round loop allocates nothing. Machines that implement
-//     FlatMachine are driven through colour-indexed slices; plain Machines
-//     are adapted transparently. This is the engine that scales to millions
-//     of nodes (goroutine-per-node does not).
+//     across workers (contiguous ranges balanced by degree sum) and messages
+//     stored in dense per-directed-edge slots, so the round loop allocates
+//     nothing. Machines that implement FlatMachine are driven through
+//     colour-indexed slices; machines that additionally implement
+//     ArenaMachine bump-allocate their variable-length payloads from a
+//     per-worker RoundArena, so even colour-list rounds are allocation-free;
+//     plain Machines are adapted transparently. This is the engine that
+//     scales to millions of nodes (goroutine-per-node does not).
 //
 // All engines must produce identical outputs and statistics for
 // deterministic machines; tests verify this.

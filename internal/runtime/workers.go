@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 	goruntime "runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -71,9 +72,10 @@ func RunWorkersN(g *graph.Graph, labels []int, factory Factory, maxRounds, worke
 		// pin its machines (and, through them, the graph) until the next use.
 		clear(st.machines)
 		clear(st.flats)
+		clear(st.arenaMs)
 		workersStatePool.Put(st)
 	}()
-	st.fit(n, len(halves))
+	st.fit(n, len(halves), workers)
 	offsets := st.offsets
 	for v := 0; v < n; v++ {
 		_, offsets[v+1] = g.HalfRange(v)
@@ -82,7 +84,8 @@ func RunWorkersN(g *graph.Graph, labels []int, factory Factory, maxRounds, worke
 	// Machines are created and initialised in node order before any worker
 	// starts, so stateful factories behave identically under every engine.
 	machines := st.machines
-	flats := st.flats // nil where the machine is map-only
+	flats := st.flats     // nil where the machine is map-only
+	arenaMs := st.arenaMs // nil where the machine takes no arena
 	haltTimes := make([]int, n)
 	var alive int64
 	for v := 0; v < n; v++ {
@@ -95,6 +98,11 @@ func RunWorkersN(g *graph.Graph, labels []int, factory Factory, maxRounds, worke
 			flats[v] = fm
 		} else {
 			flats[v] = nil
+		}
+		if am, ok := m.(ArenaMachine); ok {
+			arenaMs[v] = am
+		} else {
+			arenaMs[v] = nil
 		}
 		m.Init(NodeInfo{K: k, Colors: g.IncidentColors(v), Label: labelOf(labels, v)})
 		if !m.Halted() {
@@ -112,16 +120,28 @@ func RunWorkersN(g *graph.Graph, labels []int, factory Factory, maxRounds, worke
 	// ever touched concurrently.
 	slab := st.slab
 
+	// Shards are contiguous node ranges balanced by weight rather than node
+	// count: a node's round cost is proportional to its degree, so boundaries
+	// equalise nodes + directed edges per shard (offsets[v] + v is strictly
+	// increasing, which also keeps shards nonempty on edge-free graphs).
+	bounds := st.bounds
+	weight := offsets[n] + n
+	bounds[0], bounds[workers] = 0, n
+	for w := 1; w < workers; w++ {
+		target := w * weight / workers
+		bounds[w] = sort.Search(n, func(v int) bool { return offsets[v]+v >= target })
+	}
+
 	bar := newBarrier(workers)
 	errs := make([]error, workers)
 	msgCounts := make([]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
+		lo, hi := bounds[w], bounds[w+1]
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			arena := &st.arenas[w]
 			outBuf := make([]Message, k+1)
 			inBuf := make([]Message, k+1)
 			// active lists this shard's live nodes in ascending order; the
@@ -144,13 +164,21 @@ func RunWorkersN(g *graph.Graph, labels []int, factory Factory, maxRounds, worke
 					errs[w] = fmt.Errorf("runtime: no termination within %d rounds", maxRounds)
 					break
 				}
+				// The previous round's receive phase ended behind the last
+				// barrier, so its arena payloads are no longer referenced by
+				// any live reader and the slabs can be recycled.
+				arena.Reset()
 				// Send phase: each worker fills the slab slots of its own
 				// nodes' outgoing halves.
 				for _, v32 := range active {
 					v := int(v32)
 					vlo, vhi := offsets[v], offsets[v+1]
 					if fm := flats[v]; fm != nil {
-						fm.SendFlat(outBuf)
+						if am := arenaMs[v]; am != nil {
+							am.SendFlatArena(outBuf, arena)
+						} else {
+							fm.SendFlat(outBuf)
+						}
 						for i := vlo; i < vhi; i++ {
 							if msg := outBuf[halves[i].Color]; msg != nil {
 								slab[i] = msg
@@ -248,26 +276,33 @@ func RunWorkersN(g *graph.Graph, labels []int, factory Factory, maxRounds, worke
 type workersState struct {
 	machines []Machine
 	flats    []FlatMachine
+	arenaMs  []ArenaMachine
 	live     []bool
 	offsets  []int
+	bounds   []int
 	slab     []Message
+	arenas   []RoundArena
 }
 
 var workersStatePool = sync.Pool{New: func() any { return &workersState{} }}
 
-// fit resizes the scratch for n nodes and h directed edges. Machine, flat
-// and live entries are fully overwritten by the init loop; the slab must be
-// all-nil, and a previous run can leave stale messages only in slots whose
-// reader halted, so it is cleared here rather than trusted.
-func (st *workersState) fit(n, h int) {
+// fit resizes the scratch for n nodes, h directed edges and the given
+// worker count. Machine, flat and live entries are fully overwritten by the
+// init loop; the slab must be all-nil, and a previous run can leave stale
+// messages only in slots whose reader halted, so it is cleared here rather
+// than trusted. Arenas keep their slabs across runs — that is the point of
+// pooling them — because payload contents carry no cross-run meaning.
+func (st *workersState) fit(n, h, workers int) {
 	if cap(st.machines) < n {
 		st.machines = make([]Machine, n)
 		st.flats = make([]FlatMachine, n)
+		st.arenaMs = make([]ArenaMachine, n)
 		st.live = make([]bool, n)
 		st.offsets = make([]int, n+1)
 	}
 	st.machines = st.machines[:n]
 	st.flats = st.flats[:n]
+	st.arenaMs = st.arenaMs[:n]
 	st.live = st.live[:n]
 	st.offsets = st.offsets[:n+1]
 	if cap(st.slab) < h {
@@ -276,6 +311,15 @@ func (st *workersState) fit(n, h int) {
 		st.slab = st.slab[:h]
 		clear(st.slab)
 	}
+	if len(st.arenas) < workers {
+		arenas := make([]RoundArena, workers)
+		copy(arenas, st.arenas) // keep already-grown slabs
+		st.arenas = arenas
+	}
+	if cap(st.bounds) < workers+1 {
+		st.bounds = make([]int, workers+1)
+	}
+	st.bounds = st.bounds[:workers+1]
 }
 
 // barrier is an allocation-free cyclic barrier: the round loop crosses it
