@@ -14,6 +14,7 @@ import (
 	"repro/internal/algo"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/harness"
 	"repro/internal/runtime"
@@ -47,6 +48,7 @@ func BenchmarkE10Regular(b *testing.B)      { benchExperiment(b, "E10") }
 func BenchmarkE12Lemmas(b *testing.B)       { benchExperiment(b, "E12") }
 func BenchmarkE13Views(b *testing.B)        { benchExperiment(b, "E13") }
 func BenchmarkE14Related(b *testing.B)      { benchExperiment(b, "E14") }
+func BenchmarkE15Scenarios(b *testing.B)    { benchExperiment(b, "E15") }
 
 // E11 sweeps palettes up to 2048 and is by far the heaviest experiment;
 // gate it so default -bench=. runs stay snappy while -bench=E11 still works.
@@ -79,9 +81,9 @@ func BenchmarkAdversaryByK(b *testing.B) {
 }
 
 // BenchmarkGreedyMachineEngines compares the three engines on the same
-// instances: the map-based sequential reference, the goroutine-per-node
-// α-synchroniser, and the flat worker-pool engine whose round loop is
-// allocation-free (BENCH_pr1.json records a baseline).
+// instances: the single-threaded slab engine, the goroutine-per-node
+// α-synchroniser (map protocol), and the flat worker-pool engine whose
+// round loop is allocation-free (BENCH_pr1.json records a baseline).
 //
 // The instance is a union of partial random matchings rather than a
 // k-regular graph: in a k-regular properly coloured graph every node has a
@@ -202,6 +204,70 @@ func BenchmarkE11SweepParallel(b *testing.B) {
 			defer goruntime.GOMAXPROCS(prev)
 			for i := 0; i < b.N; i++ {
 				if _, err := harness.E11PaletteSweep(ks, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGenMatchingUnion compares instance construction on the CSR
+// builder (the path every constructor and scenario now uses) against the
+// retained legacy per-node-map path at benchmark scale. The acceptance bar
+// for the generator subsystem is ≥5× fewer allocations on the builder; in
+// practice the gap is orders of magnitude, since the map path allocates
+// per node and the builder amortises everything into a handful of slabs.
+func BenchmarkGenMatchingUnion(b *testing.B) {
+	const n, k = 65536, 6
+	b.Run("csr-builder", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rng := rand.New(rand.NewSource(1))
+			graph.RandomMatchingUnion(n, k, 0.7, rng)
+		}
+	})
+	b.Run("legacy-map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rng := rand.New(rand.NewSource(1))
+			graph.LegacyRandomMatchingUnion(n, k, 0.7, rng)
+		}
+	})
+}
+
+// BenchmarkGenBoundedDegree is the same comparison for the §1.3 k ≫ Δ
+// instances (the reduced-pipeline benchmark setup).
+func BenchmarkGenBoundedDegree(b *testing.B) {
+	const n, k, delta = 65536, 1024, 3
+	b.Run("csr-builder", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rng := rand.New(rand.NewSource(2))
+			graph.RandomBoundedDegree(n, k, delta, 5*n, rng)
+		}
+	})
+	b.Run("legacy-map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rng := rand.New(rand.NewSource(2))
+			graph.LegacyRandomBoundedDegree(n, k, delta, 5*n, rng)
+		}
+	})
+}
+
+// BenchmarkGenScenarios builds every registered scenario at a mid-size n,
+// so the bench smoke run exercises the whole registry and allocation
+// regressions in any family are visible.
+func BenchmarkGenScenarios(b *testing.B) {
+	for _, s := range gen.All() {
+		overrides := gen.Params{}
+		if _, ok := s.Params["n"]; ok {
+			overrides["n"] = 4096
+		}
+		b.Run(s.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Build(int64(i), overrides); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,13 +1,21 @@
 // Command mmrun executes a distributed maximal-matching machine on a
 // generated instance and reports rounds, messages and matching size.
 //
+// Instances come either from the legacy -graph kinds or from the scenario
+// registry in internal/gen (-scenario overrides -graph): every registered
+// family can be named, parameterised and rebuilt deterministically from a
+// seed.
+//
 // Usage:
 //
 //	mmrun -graph worstcase -k 6                    # §1.2 instance, greedy
 //	mmrun -graph random -n 100 -k 8 -algo proposal
 //	mmrun -graph regular -n 64 -k 5 -engine conc
-//	mmrun -graph regular -n 65536 -k 6 -engine workers -workers 8
-//	mmrun -graph cayley -k 4 -radius 4 -algo reduced
+//	mmrun -scenario matching-union:n=65536,k=6 -engine workers -workers 8
+//	mmrun -scenario caterpillar:k=8,legs=2 -stats  # per-round histogram
+//	mmrun -scenario double-cover:n=512 -algo bipartite
+//	mmrun -scenario list                           # list the registry
+//	mmrun -graph cayley -k 4 -radius 4 -algo reduced -delta 4
 //	mmrun -graph figure1 -dot                      # emit Graphviz with the matching
 package main
 
@@ -19,6 +27,7 @@ import (
 
 	"repro/internal/colsys"
 	"repro/internal/dist"
+	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/mm"
 	"repro/internal/runtime"
@@ -26,24 +35,58 @@ import (
 
 func main() {
 	graphKind := flag.String("graph", "worstcase", "instance: figure1, worstcase, random, regular, bounded, cayley")
-	algName := flag.String("algo", "greedy", "machine: greedy, proposal, reduced")
-	engine := flag.String("engine", "seq", "engine: seq (deterministic), conc (goroutine per node) or workers (flat worker pool)")
+	scenario := flag.String("scenario", "", "scenario spec name[:param=value,…] from internal/gen (overrides -graph); \"list\" prints the registry")
+	algName := flag.String("algo", "greedy", "machine: greedy, proposal, reduced, bipartite (bipartite needs a labelled scenario)")
+	engine := flag.String("engine", "seq", "engine: seq (deterministic slab), conc (goroutine per node) or workers (flat worker pool)")
 	workers := flag.Int("workers", 0, "worker count for -engine workers (0 = GOMAXPROCS)")
 	n := flag.Int("n", 64, "number of nodes (random/regular/bounded)")
 	k := flag.Int("k", 4, "number of edge colours")
 	delta := flag.Int("delta", 3, "degree bound (bounded graphs, reduced machine)")
 	radius := flag.Int("radius", 3, "ball radius (cayley graphs)")
 	seed := flag.Int64("seed", 1, "random seed")
+	stats := flag.Bool("stats", false, "print the per-round message/byte histogram (slab engines)")
 	dot := flag.Bool("dot", false, "emit Graphviz DOT with the matching in bold")
 	flag.Parse()
 
-	g, err := buildGraph(*graphKind, *n, *k, *delta, *radius, *seed)
+	if *scenario == "list" {
+		for _, s := range gen.All() {
+			fmt.Printf("%-16s %s\n  defaults: %s\n", s.Name, s.Doc, s.Params)
+		}
+		return
+	}
+	if *scenario != "" {
+		// Instance-shape flags belong in the spec when a scenario is
+		// named; silently ignoring an explicit -n/-k would run a
+		// different instance than the user asked for.
+		ignored := map[string]bool{"graph": true, "n": true, "k": true, "radius": true}
+		flag.Visit(func(f *flag.Flag) {
+			if ignored[f.Name] {
+				fmt.Fprintf(os.Stderr, "mmrun: -%s has no effect with -scenario; pass instance parameters in the spec (e.g. -scenario name:%s=…)\n", f.Name, f.Name)
+				os.Exit(2)
+			}
+		})
+	}
+
+	var g *graph.Graph
+	var labels []int
+	var err error
+	instName := *graphKind
+	if *scenario != "" {
+		var inst *gen.Instance
+		var sc gen.Scenario
+		inst, sc, err = gen.BuildSpec(*scenario, *seed)
+		if err == nil {
+			g, labels, instName = inst.G, inst.Labels, sc.Name
+		}
+	} else {
+		g, err = buildGraph(*graphKind, *n, *k, *delta, *radius, *seed)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmrun: %v\n", err)
 		os.Exit(2)
 	}
 
-	var factory runtime.Factory
+	var factory runtime.Source
 	maxRounds := runtime.DefaultMaxRounds(g)
 	switch *algName {
 	case "greedy":
@@ -51,8 +94,24 @@ func main() {
 	case "proposal":
 		factory = dist.NewProposalMachine
 	case "reduced":
+		// The reduced machine panics (documented) past its degree bound;
+		// with -scenario the instance no longer derives from -delta, so
+		// check the mismatch here and fail with a usable message instead.
+		if d := g.MaxDegree(); d > *delta {
+			fmt.Fprintf(os.Stderr, "mmrun: -algo reduced needs max degree ≤ delta, but the instance has Δ = %d > %d; raise -delta\n", d, *delta)
+			os.Exit(2)
+		}
 		factory = dist.NewReducedGreedyMachine(*delta)
 		if t := dist.TotalRounds(g.K(), *delta) + 8; t > maxRounds {
+			maxRounds = t
+		}
+	case "bipartite":
+		if labels == nil {
+			fmt.Fprintln(os.Stderr, "mmrun: -algo bipartite needs a labelled instance (e.g. -scenario double-cover)")
+			os.Exit(2)
+		}
+		factory = dist.NewBipartiteMachine
+		if t := 4*g.MaxDegree() + 16; t > maxRounds {
 			maxRounds = t
 		}
 	default:
@@ -61,17 +120,17 @@ func main() {
 	}
 
 	var outs []mm.Output
-	var stats *runtime.Stats
+	var st *runtime.Stats
 	switch *engine {
 	case "seq":
-		outs, stats, err = runtime.RunSequential(g, factory, maxRounds)
+		outs, st, err = runtime.RunSequentialLabeled(g, labels, factory, maxRounds)
 	case "conc":
-		outs, stats, err = runtime.RunConcurrent(g, factory, maxRounds)
+		outs, st, err = runtime.RunConcurrentLabeled(g, labels, factory, maxRounds)
 	case "workers":
 		if *workers > 0 {
-			outs, stats, err = runtime.RunWorkersN(g, nil, factory, maxRounds, *workers)
+			outs, st, err = runtime.RunWorkersN(g, labels, factory, maxRounds, *workers)
 		} else {
-			outs, stats, err = runtime.RunWorkers(g, factory, maxRounds)
+			outs, st, err = runtime.RunWorkersLabeled(g, labels, factory, maxRounds)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "mmrun: unknown engine %q\n", *engine)
@@ -92,16 +151,33 @@ func main() {
 	}
 
 	fmt.Printf("instance:  %s (n=%d, |E|=%d, Δ=%d, k=%d)\n",
-		*graphKind, g.N(), g.NumEdges(), g.MaxDegree(), g.K())
+		instName, g.N(), g.NumEdges(), g.MaxDegree(), g.K())
 	fmt.Printf("algorithm: %s on the %s engine\n", *algName, *engine)
-	fmt.Printf("rounds:    %d (greedy bound k−1 = %d)\n", stats.Rounds, g.K()-1)
-	fmt.Printf("messages:  %d\n", stats.Messages)
+	fmt.Printf("rounds:    %d (greedy bound k−1 = %d)\n", st.Rounds, g.K()-1)
+	fmt.Printf("messages:  %d\n", st.Messages)
 	fmt.Printf("matching:  %d edges\n", len(matching))
+	if *stats {
+		printPerRound(st)
+	}
 	if err := graph.CheckMatching(g, outs); err != nil {
 		fmt.Fprintf(os.Stderr, "mmrun: INVALID OUTPUT: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println("validated: maximal matching (M1–M3 hold)")
+}
+
+// printPerRound renders the slab engines' per-round traffic histogram; the
+// goroutine-per-node engine does not record one.
+func printPerRound(st *runtime.Stats) {
+	if st.PerRound == nil {
+		fmt.Println("per-round: not recorded by this engine (use -engine seq or workers)")
+		return
+	}
+	fmt.Println("per-round traffic:")
+	fmt.Printf("  %5s  %9s  %10s\n", "round", "messages", "bytes")
+	for r, t := range st.PerRound {
+		fmt.Printf("  %5d  %9d  %10d\n", r+1, t.Messages, t.Bytes)
+	}
 }
 
 func buildGraph(kind string, n, k, delta, radius int, seed int64) (*graph.Graph, error) {

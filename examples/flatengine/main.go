@@ -12,6 +12,13 @@
 // round arenas keep even that allocation-free:
 //
 //	go run ./examples/flatengine -algo reduced -n 262144 -k 1024 -delta 3
+//
+// With -scenario the instance comes from the internal/gen registry instead
+// of the built-in constructors — any registered family at any size, built
+// CSR-natively so even million-node setup is a small fraction of the run:
+//
+//	go run ./examples/flatengine -scenario matching-union:n=1048576,k=6
+//	go run ./examples/flatengine -scenario caterpillar:k=64,legs=8
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/runtime"
 )
@@ -40,25 +48,43 @@ func main() {
 	algo := flag.String("algo", "greedy", "machine: greedy, or reduced (colour reduction first; wants k ≫ delta)")
 	delta := flag.Int("delta", 3, "degree bound for -algo reduced")
 	density := flag.Float64("density", 0.7, "per-colour matching density (greedy instance); 1.0 is k-regular, where greedy degenerately halts at time 0")
+	scenario := flag.String("scenario", "", "build the instance from the gen registry (spec name[:param=value,…]) instead of -n/-k/-density")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
 	start := time.Now()
 	var g *graph.Graph
-	var factory runtime.Factory
+	var labels []int
+	if *scenario != "" {
+		inst, _, err := gen.BuildSpec(*scenario, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, labels = inst.G, inst.Labels
+	}
+	var factory runtime.Source
 	var maxRounds, bound int
 	var boundName string
 	switch *algo {
 	case "greedy":
-		g = graph.RandomMatchingUnion(*n, *k, *density, rng)
-		factory = dist.NewGreedyMachinePool(*n)
-		maxRounds = 4 * *k
-		bound, boundName = *k-1, "k−1"
+		if g == nil {
+			g = graph.RandomMatchingUnion(*n, *k, *density, rng)
+		}
+		factory = dist.NewGreedyMachinePool(g.N())
+		maxRounds = 4 * g.K()
+		bound, boundName = g.K()-1, "k−1"
 	case "reduced":
-		g = graph.RandomBoundedDegree(*n, *k, *delta, 5**n, rng)
-		factory = dist.NewReducedGreedyMachinePool(*delta, *n)
-		bound, boundName = dist.TotalRounds(*k, *delta), "TotalRounds(k, Δ)"
+		if g == nil {
+			g = graph.RandomBoundedDegree(*n, *k, *delta, 5**n, rng)
+		}
+		// A -scenario instance is not built from -delta; the reduced
+		// machine panics past its degree bound, so reject the mismatch.
+		if d := g.MaxDegree(); d > *delta {
+			log.Fatalf("-algo reduced needs max degree ≤ delta, but the instance has Δ = %d > %d; raise -delta", d, *delta)
+		}
+		factory = dist.NewReducedGreedyMachinePool(*delta, g.N())
+		bound, boundName = dist.TotalRounds(g.K(), *delta), "TotalRounds(k, Δ)"
 		maxRounds = bound + 8
 	default:
 		log.Fatalf("unknown -algo %q (want greedy or reduced)", *algo)
@@ -68,7 +94,7 @@ func main() {
 		g.N(), g.NumEdges(), g.K(), time.Since(start).Round(time.Millisecond))
 
 	start = time.Now()
-	outs, stats, err := runtime.RunWorkers(g, factory, maxRounds)
+	outs, stats, err := runtime.RunWorkersLabeled(g, labels, factory, maxRounds)
 	if err != nil {
 		log.Fatal(err)
 	}

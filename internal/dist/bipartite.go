@@ -42,20 +42,14 @@ type BipartiteMachine struct {
 }
 
 // NewBipartiteMachine is a runtime.Factory for BipartiteMachine.
-func NewBipartiteMachine() runtime.Machine { return &BipartiteMachine{} }
+var NewBipartiteMachine runtime.Factory = func() runtime.Machine { return &BipartiteMachine{} }
 
-// NewBipartiteMachinePool returns a runtime.Factory backed by a fixed arena
-// of n machines reused across runs, like NewGreedyMachinePool: Init fully
-// resets a machine while keeping its live-edge scratch. Not safe for
-// concurrent calls.
-func NewBipartiteMachinePool(n int) runtime.Factory {
-	arena := make([]BipartiteMachine, n)
-	next := 0
-	return func() runtime.Machine {
-		m := &arena[next%n]
-		next++
-		return m
-	}
+// NewBipartiteMachinePool returns a pooling-aware runtime.Source backed by
+// a fixed arena of n machines reused across runs, like
+// NewGreedyMachinePool: Init fully resets a machine while keeping its
+// live-edge scratch.
+func NewBipartiteMachinePool(n int) runtime.Source {
+	return runtime.NewPool[BipartiteMachine](n, nil)
 }
 
 // Init implements runtime.Machine.

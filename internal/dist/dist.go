@@ -90,23 +90,18 @@ type GreedyMachine struct {
 	out    mm.Output
 }
 
-// NewGreedyMachine is a runtime.Factory for GreedyMachine.
-func NewGreedyMachine() runtime.Machine { return &GreedyMachine{} }
+// NewGreedyMachine is a runtime.Factory — hence a runtime.Source — for
+// GreedyMachine. It is a variable of Factory type so call sites keep
+// passing it by name to engines that now take a Source.
+var NewGreedyMachine runtime.Factory = func() runtime.Machine { return &GreedyMachine{} }
 
-// NewGreedyMachinePool returns a runtime.Factory backed by a fixed arena of
-// n machines that is reused across runs: Init fully resets a machine, so an
-// engine driving an n-node instance repeatedly performs no per-node
-// allocation after the first run. The factory hands out arena slots
-// cyclically and is not safe for concurrent calls (no engine calls its
-// factory concurrently).
-func NewGreedyMachinePool(n int) runtime.Factory {
-	arena := make([]GreedyMachine, n)
-	next := 0
-	return func() runtime.Machine {
-		m := &arena[next%n]
-		next++
-		return m
-	}
+// NewGreedyMachinePool returns a pooling-aware runtime.Source backed by a
+// fixed arena of n machines reused across runs: Init fully resets a
+// machine, so an engine driving an n-node instance repeatedly performs no
+// per-node allocation after the first run. Engines request the whole batch
+// through NewPool rather than n factory calls.
+func NewGreedyMachinePool(n int) runtime.Source {
+	return runtime.NewPool[GreedyMachine](n, nil)
 }
 
 // Init implements runtime.Machine. A node with a colour-1 edge matches

@@ -22,8 +22,8 @@ func TestPooledStateReuseAcrossRuns(t *testing.T) {
 	type instance struct {
 		name   string
 		g      *graph.Graph
-		pooled runtime.Factory
-		fresh  runtime.Factory
+		pooled runtime.Source
+		fresh  runtime.Source
 		maxR   int
 	}
 

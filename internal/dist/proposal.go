@@ -25,20 +25,14 @@ type ProposalMachine struct {
 }
 
 // NewProposalMachine is a runtime.Factory for ProposalMachine.
-func NewProposalMachine() runtime.Machine { return &ProposalMachine{} }
+var NewProposalMachine runtime.Factory = func() runtime.Machine { return &ProposalMachine{} }
 
-// NewProposalMachinePool returns a runtime.Factory backed by a fixed arena
-// of n machines reused across runs, like NewGreedyMachinePool: Init fully
-// resets a machine while keeping its live-edge scratch, so repeated runs
-// allocate nothing per node. Not safe for concurrent calls.
-func NewProposalMachinePool(n int) runtime.Factory {
-	arena := make([]ProposalMachine, n)
-	next := 0
-	return func() runtime.Machine {
-		m := &arena[next%n]
-		next++
-		return m
-	}
+// NewProposalMachinePool returns a pooling-aware runtime.Source backed by a
+// fixed arena of n machines reused across runs, like NewGreedyMachinePool:
+// Init fully resets a machine while keeping its live-edge scratch, so
+// repeated runs allocate nothing per node.
+func NewProposalMachinePool(n int) runtime.Source {
+	return runtime.NewPool[ProposalMachine](n, nil)
 }
 
 // Init implements runtime.Machine. Isolated nodes halt unmatched at time 0.

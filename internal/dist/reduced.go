@@ -55,23 +55,13 @@ func NewReducedGreedyMachine(delta int) runtime.Factory {
 	return func() runtime.Machine { return &ReducedGreedyMachine{delta: delta} }
 }
 
-// NewReducedGreedyMachinePool returns a runtime.Factory backed by a fixed
-// arena of n machines reused across runs, like NewGreedyMachinePool: Init
-// fully resets a machine while keeping its scratch capacity and its cached
-// reduction schedule, so repeated runs on same-shaped instances allocate
-// nothing per node. The factory hands out arena slots cyclically and is not
-// safe for concurrent calls.
-func NewReducedGreedyMachinePool(delta, n int) runtime.Factory {
-	arena := make([]ReducedGreedyMachine, n)
-	for i := range arena {
-		arena[i].delta = delta
-	}
-	next := 0
-	return func() runtime.Machine {
-		m := &arena[next%n]
-		next++
-		return m
-	}
+// NewReducedGreedyMachinePool returns a pooling-aware runtime.Source backed
+// by a fixed arena of n machines reused across runs, like
+// NewGreedyMachinePool: Init fully resets a machine while keeping its
+// scratch capacity and its cached reduction schedule, so repeated runs on
+// same-shaped instances allocate nothing per node.
+func NewReducedGreedyMachinePool(delta, n int) runtime.Source {
+	return runtime.NewPool[ReducedGreedyMachine](n, func(m *ReducedGreedyMachine) { m.delta = delta })
 }
 
 // Init implements runtime.Machine. Every node computes the shared reduction

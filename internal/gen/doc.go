@@ -1,0 +1,57 @@
+// Package gen is the scenario generator subsystem: a registry of named,
+// parameterised, deterministically seeded graph families, all constructed
+// CSR-natively through the graph.CSRBuilder (re-exported here) — no
+// per-node maps, no Flatten, so instance construction keeps pace with the
+// allocation-free execution engines instead of dominating benchmark setup.
+//
+// # Scenario DSL
+//
+// A scenario is addressed by a spec string
+//
+//	name[:param=value,param=value,...]
+//
+// for example
+//
+//	matching-union:n=65536,k=6,density=0.7
+//	bounded-degree:n=4096,k=1024,delta=3
+//	caterpillar:k=8,legs=2
+//
+// Parse resolves the name against the registry and merges the overrides
+// onto the scenario's defaults (unknown parameters are errors, listing the
+// valid ones). Build then instantiates the scenario from a seed:
+//
+//	inst, sc, err := gen.BuildSpec("regular:n=1024,k=6", 42)
+//
+// Every scenario derives its own rng stream from (name, seed), so the same
+// seed can drive a whole suite of scenarios without correlating them, and
+// the same (spec, seed) pair names the same instance forever — tests pin
+// byte-identical CSR arrays across rebuilds. Instances carry optional
+// per-node labels (the double-cover family returns the bipartition sides
+// in the encoding of dist.SideWhite/SideBlack).
+//
+// # Families
+//
+//   - matching-union — union of k partial random matchings (§1.2 random
+//     instances); max degree ≤ k, never degenerate for greedy at
+//     density < 1.
+//   - bounded-degree — uniform random edges under a degree cap Δ with
+//     colours from the full palette: the k ≫ Δ regime of §1.3.
+//   - regular — k-regular via the permutation-union construction: every
+//     colour class is a perfect matching drawn as a random permutation
+//     paired off two by two.
+//   - path / cycle — deterministic colour-cycled paths and cycles.
+//   - tree — random recursive tree, each edge greedily given the smallest
+//     colour free at both endpoints.
+//   - caterpillar — the §1.2 worst-case spine (colours k, k−1, …, 1) with
+//     pendant legs on every spine node: a lower-bound family where greedy
+//     is forced through all k−1 rounds while the legs keep every round
+//     busy.
+//   - worstcase — the two-path §1.2 instance itself (NewWorstCase).
+//   - double-cover — the bipartite double cover of a matching-union base:
+//     2n nodes, labels carrying the sides, the natural input for the §1.1
+//     bipartite algorithm.
+//
+// cmd/mmrun (-scenario), examples/flatengine (-scenario), the harness
+// experiment E15 and the top-level BenchmarkGen* benchmarks all drive this
+// registry.
+package gen

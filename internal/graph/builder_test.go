@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/group"
+)
+
+// sameCSR asserts the two graphs have byte-identical flat CSR arrays:
+// offsets, halves, colors and mates. This is the strongest equivalence the
+// builder port can claim — not just isomorphic, the same arrays.
+func sameCSR(t *testing.T, name string, got, want *Graph) {
+	t.Helper()
+	got.Flatten()
+	want.Flatten()
+	if got.N() != want.N() || got.K() != want.K() {
+		t.Fatalf("%s: shape (n=%d, k=%d) vs (n=%d, k=%d)", name, got.N(), got.K(), want.N(), want.K())
+	}
+	if !reflect.DeepEqual(got.flat.offsets, want.flat.offsets) {
+		t.Fatalf("%s: offsets differ", name)
+	}
+	if !reflect.DeepEqual(got.flat.halves, want.flat.halves) {
+		t.Fatalf("%s: halves differ", name)
+	}
+	if !reflect.DeepEqual(got.flat.colors, want.flat.colors) {
+		t.Fatalf("%s: colors differ", name)
+	}
+	if !reflect.DeepEqual(got.flat.mates, want.flat.mates) {
+		t.Fatalf("%s: mates differ", name)
+	}
+}
+
+// TestBuilderMatchesLegacyConstructors pins every ported family against its
+// legacy map-based construction: the same seed must produce byte-identical
+// CSR arrays, which also proves the builder consumes the rng stream exactly
+// as the map path did.
+func TestBuilderMatchesLegacyConstructors(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		got := RandomMatchingUnion(200, 6, 0.7, rand.New(rand.NewSource(seed)))
+		want := LegacyRandomMatchingUnion(200, 6, 0.7, rand.New(rand.NewSource(seed)))
+		sameCSR(t, "matching-union", got, want)
+
+		got = RandomBoundedDegree(150, 64, 3, 800, rand.New(rand.NewSource(seed)))
+		want = LegacyRandomBoundedDegree(150, 64, 3, 800, rand.New(rand.NewSource(seed)))
+		sameCSR(t, "bounded-degree", got, want)
+
+		gotR, err := RandomRegular(64, 5, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantR, err := LegacyRandomRegular(64, 5, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameCSR(t, "regular", gotR, wantR)
+	}
+
+	for k := 2; k <= 9; k++ {
+		got, err := NewWorstCase(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := LegacyNewWorstCase(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.U != want.U || got.V != want.V {
+			t.Fatalf("worst case k=%d: endpoints (%d, %d) vs (%d, %d)", k, got.U, got.V, want.U, want.V)
+		}
+		sameCSR(t, "worstcase", got.G, want.G)
+	}
+}
+
+// TestBuilderValidation checks the builder enforces the same invariants as
+// Graph.AddEdge and that TryAddEdge mirrors them as skips.
+func TestBuilderValidation(t *testing.T) {
+	b := NewCSRBuilder(4, 3)
+	if err := b.AddEdge(0, 0, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := b.AddEdge(0, 4, 1); err == nil {
+		t.Error("out-of-range peer accepted")
+	}
+	if err := b.AddEdge(0, 1, 5); err == nil {
+		t.Error("out-of-palette colour accepted")
+	}
+	if err := b.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(0, 2, 1); err == nil {
+		t.Error("colour reuse at node 0 accepted")
+	}
+	if err := b.AddEdge(0, 1, 2); err == nil {
+		t.Error("parallel edge accepted")
+	}
+	if b.TryAddEdge(1, 0, 3) {
+		t.Error("TryAddEdge accepted a parallel edge")
+	}
+	if !b.TryAddEdge(2, 3, 1) {
+		t.Error("TryAddEdge rejected a valid edge")
+	}
+	if b.Degree(0) != 1 || b.NumEdges() != 2 {
+		t.Errorf("degree/edge bookkeeping: deg(0)=%d, m=%d", b.Degree(0), b.NumEdges())
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuilderReset re-uses one builder across two builds and checks the
+// second build is unpolluted by the first.
+func TestBuilderReset(t *testing.T) {
+	b := NewCSRBuilder(6, 2)
+	if err := b.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset(3, 2)
+	if b.HasEdge(0, 1) || !b.ColorFree(0, 1) || b.Degree(0) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	if err := b.AddEdge(1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.NumEdges() != 1 || g.Degree(1) != 1 {
+		t.Fatalf("second build wrong: n=%d m=%d", g.N(), g.NumEdges())
+	}
+}
+
+// TestFromCSRRejectsBrokenInput feeds FromCSR malformed adjacencies and
+// expects errors rather than silently broken graphs.
+func TestFromCSRRejectsBrokenInput(t *testing.T) {
+	// Asymmetric: node 0 claims a colour-1 edge to 1, node 1 is silent.
+	if _, err := FromCSR(2, []int{0, 1, 1}, []Half{{Peer: 1, Color: 1}}); err == nil {
+		t.Error("asymmetric adjacency accepted")
+	}
+	// Improper: colour 1 twice at node 0.
+	if _, err := FromCSR(2, []int{0, 2, 3, 4},
+		[]Half{{Peer: 1, Color: 1}, {Peer: 2, Color: 1}, {Peer: 0, Color: 1}, {Peer: 0, Color: 1}}); err == nil {
+		t.Error("improper colouring accepted")
+	}
+	// Offsets that do not span the halves.
+	if _, err := FromCSR(2, []int{0, 1}, []Half{{Peer: 1, Color: 1}, {Peer: 0, Color: 1}}); err == nil {
+		t.Error("short offsets accepted")
+	}
+}
+
+// TestCSRGraphMutatesCorrectly checks the lazy-map path: a CSR-built graph
+// must answer every read without maps, then transparently materialise them
+// when AddEdge mutates it.
+func TestCSRGraphMutatesCorrectly(t *testing.T) {
+	b := NewCSRBuilder(4, 3)
+	for _, e := range []struct {
+		u, v int
+		c    group.Color
+	}{{0, 1, 1}, {1, 2, 2}, {2, 3, 1}} {
+		if err := b.AddEdge(e.u, e.v, e.c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.adj != nil {
+		t.Fatal("CSR-built graph materialised maps without a mutation")
+	}
+	if peer, ok := g.Neighbor(1, 2); !ok || peer != 2 {
+		t.Fatalf("Neighbor(1, 2) = %d, %v", peer, ok)
+	}
+	if g.Degree(1) != 2 || g.MaxDegree() != 2 || g.NumEdges() != 3 {
+		t.Fatal("CSR reads wrong before mutation")
+	}
+	if err := g.AddEdge(3, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.adj == nil {
+		t.Fatal("mutation did not materialise the maps")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if peer, ok := g.Neighbor(3, 2); !ok || peer != 0 {
+		t.Fatalf("Neighbor(3, 2) after mutation = %d, %v", peer, ok)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d after mutation", g.NumEdges())
+	}
+}

@@ -42,16 +42,20 @@ type Edge struct {
 }
 
 // Graph is a finite simple graph with a proper k-edge-colouring. The zero
-// value is not usable; construct with New.
+// value is not usable; construct with New, FromCSR or a CSRBuilder.
 //
-// Internally the graph keeps two representations: a per-node colour→peer
-// map that AddEdge maintains (and that backs validation and mutation), and
-// a flat CSR-style adjacency — one contiguous []Half plus node offsets —
-// that is built lazily and backs the zero-allocation read API used by the
-// execution engines (Incident, IncidentColors, Halves, Mates).
+// Internally the graph keeps up to two representations: a per-node
+// colour→peer map that AddEdge maintains (and that backs mutation), and a
+// flat CSR-style adjacency — one contiguous []Half plus node offsets —
+// that backs the zero-allocation read API used by the execution engines
+// (Incident, IncidentColors, Halves, Mates). Map-built graphs (New) build
+// the CSR lazily via Flatten; CSR-built graphs (FromCSR, CSRBuilder) have
+// no maps at all until the first mutation materialises them, so the
+// generator fast path never allocates per-node maps. The invariant is that
+// at least one representation is always current: adj != nil || flat.valid.
 type Graph struct {
-	k    int
-	adj  []map[group.Color]int // adj[v][c] = peer behind colour c at v
+	n, k int
+	adj  []map[group.Color]int // adj[v][c] = peer behind colour c at v; nil when CSR-authoritative
 	flat flatAdj
 	// edges caches the Edges() result; nil after a mutation. It is an
 	// atomic pointer so that Edges() stays safe for the concurrent readers
@@ -79,7 +83,26 @@ func New(n, k int) *Graph {
 	for i := range adj {
 		adj[i] = make(map[group.Color]int)
 	}
-	return &Graph{k: k, adj: adj}
+	return &Graph{n: n, k: k, adj: adj}
+}
+
+// materializeAdj builds the per-node colour→peer maps from the flat
+// adjacency. CSR-built graphs defer this until the first mutation: reads
+// never need the maps, and the whole point of the CSR generator path is to
+// skip allocating them.
+func (g *Graph) materializeAdj() {
+	if g.adj != nil {
+		return
+	}
+	adj := make([]map[group.Color]int, g.n)
+	for v := 0; v < g.n; v++ {
+		lo, hi := g.flat.offsets[v], g.flat.offsets[v+1]
+		adj[v] = make(map[group.Color]int, hi-lo)
+		for i := lo; i < hi; i++ {
+			adj[v][g.flat.halves[i].Color] = g.flat.halves[i].Peer
+		}
+	}
+	g.adj = adj
 }
 
 // Flatten (re)builds the flat CSR adjacency if the graph was mutated since
@@ -92,7 +115,7 @@ func (g *Graph) Flatten() {
 	if g.flat.valid {
 		return
 	}
-	n := len(g.adj)
+	n := g.n
 	offsets := make([]int, n+1)
 	for v := 0; v < n; v++ {
 		offsets[v+1] = offsets[v] + len(g.adj[v])
@@ -107,7 +130,7 @@ func (g *Graph) Flatten() {
 			i++
 		}
 		hv := halves[offsets[v]:offsets[v+1]]
-		sort.Slice(hv, func(a, b int) bool { return hv[a].Color < hv[b].Color })
+		sortHalvesByColor(hv)
 		for j, h := range hv {
 			colors[offsets[v]+j] = h.Color
 		}
@@ -127,7 +150,7 @@ func (g *Graph) Flatten() {
 }
 
 // N returns the number of nodes.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return g.n }
 
 // K returns the size of the colour palette.
 func (g *Graph) K() int { return g.k }
@@ -139,9 +162,10 @@ func (g *Graph) AddEdge(u, v int, c group.Color) error {
 	if u == v {
 		return fmt.Errorf("graph: self-loop at %d", u)
 	}
-	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
-		return fmt.Errorf("graph: edge {%d, %d} out of range [0, %d)", u, v, len(g.adj))
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge {%d, %d} out of range [0, %d)", u, v, g.n)
 	}
+	g.materializeAdj()
 	if !c.Valid(g.k) {
 		return fmt.Errorf("graph: colour %v outside 1…%d", c, g.k)
 	}
@@ -164,23 +188,39 @@ func (g *Graph) AddEdge(u, v int, c group.Color) error {
 }
 
 // Degree returns the degree of node v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int {
+	if g.adj != nil {
+		return len(g.adj[v])
+	}
+	return g.flat.offsets[v+1] - g.flat.offsets[v]
+}
 
 // MaxDegree returns Δ(G).
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for v := range g.adj {
-		if d := len(g.adj[v]); d > max {
+	for v := 0; v < g.n; v++ {
+		if d := g.Degree(v); d > max {
 			max = d
 		}
 	}
 	return max
 }
 
-// Neighbor returns the node behind the edge of colour c at v, if any.
+// Neighbor returns the node behind the edge of colour c at v, if any. It
+// answers from the maps when they exist and by binary search on the sorted
+// flat colours of a CSR-authoritative graph otherwise.
 func (g *Graph) Neighbor(v int, c group.Color) (int, bool) {
-	peer, ok := g.adj[v][c]
-	return peer, ok
+	if g.adj != nil {
+		peer, ok := g.adj[v][c]
+		return peer, ok
+	}
+	lo, hi := g.flat.offsets[v], g.flat.offsets[v+1]
+	pc := g.flat.colors[lo:hi]
+	j := sort.Search(len(pc), func(x int) bool { return pc[x] >= c })
+	if j < len(pc) && pc[j] == c {
+		return g.flat.halves[lo+j].Peer, true
+	}
+	return 0, false
 }
 
 // Incident returns v's incident halves sorted by colour. The result is a
@@ -236,7 +276,7 @@ func (g *Graph) Edges() []Edge {
 	}
 	g.Flatten()
 	out := make([]Edge, 0, len(g.flat.halves)/2)
-	for u := range g.adj {
+	for u := 0; u < g.n; u++ {
 		lo, hi := g.flat.offsets[u], g.flat.offsets[u+1]
 		start := len(out)
 		for i := lo; i < hi; i++ {
@@ -245,9 +285,19 @@ func (g *Graph) Edges() []Edge {
 			}
 		}
 		// Halves are colour-sorted; re-sort this node's few edges by peer
-		// so the global order is (U, V) as documented.
+		// so the global order is (U, V) as documented. Insertion sort: the
+		// segments are degree-bounded and a sort.Slice closure per node
+		// would dominate the allocation profile of large builds.
 		seg := out[start:]
-		sort.Slice(seg, func(a, b int) bool { return seg[a].V < seg[b].V })
+		for i := 1; i < len(seg); i++ {
+			e := seg[i]
+			j := i - 1
+			for j >= 0 && seg[j].V > e.V {
+				seg[j+1] = seg[j]
+				j--
+			}
+			seg[j+1] = e
+		}
 	}
 	g.edges.Store(&out)
 	return out
@@ -267,23 +317,32 @@ func (g *Graph) NumEdges() int {
 	return total / 2
 }
 
-// Validate re-checks the structural invariants (symmetry and proper
-// colouring). AddEdge maintains them; Validate guards against direct
-// manipulation in tests.
+// Validate re-checks the structural invariants (symmetry, simplicity and
+// proper colouring). AddEdge and FromCSR maintain them; Validate guards
+// against direct manipulation in tests. It works off the flat adjacency so
+// CSR-authoritative graphs validate without materialising maps.
 func (g *Graph) Validate() error {
-	for u := range g.adj {
-		seen := make(map[int]bool, len(g.adj[u]))
-		for c, v := range g.adj[u] {
-			if !c.Valid(g.k) {
-				return fmt.Errorf("graph: node %d has colour %v outside palette", u, c)
+	g.Flatten()
+	for u := 0; u < g.n; u++ {
+		lo, hi := g.flat.offsets[u], g.flat.offsets[u+1]
+		seen := make(map[int]bool, hi-lo)
+		var prev group.Color
+		for i := lo; i < hi; i++ {
+			h := g.flat.halves[i]
+			if !h.Color.Valid(g.k) {
+				return fmt.Errorf("graph: node %d has colour %v outside palette", u, h.Color)
 			}
-			if peer, ok := g.adj[v][c]; !ok || peer != u {
-				return fmt.Errorf("graph: edge {%d, %d} colour %v not symmetric", u, v, c)
+			if i > lo && h.Color == prev {
+				return fmt.Errorf("graph: colour %v used twice at node %d", h.Color, u)
 			}
-			if seen[v] {
-				return fmt.Errorf("graph: parallel edges between %d and %d", u, v)
+			prev = h.Color
+			if peer, ok := g.Neighbor(h.Peer, h.Color); !ok || peer != u {
+				return fmt.Errorf("graph: edge {%d, %d} colour %v not symmetric", u, h.Peer, h.Color)
 			}
-			seen[v] = true
+			if seen[h.Peer] {
+				return fmt.Errorf("graph: parallel edges between %d and %d", u, h.Peer)
+			}
+			seen[h.Peer] = true
 		}
 	}
 	return nil
@@ -294,7 +353,7 @@ func (g *Graph) Validate() error {
 // properly edge-coloured graph a non-backtracking walk never repeats a
 // colour twice in a row, so walks correspond exactly to reduced words.
 func (g *Graph) View(v, h int) (*colsys.Finite, error) {
-	if v < 0 || v >= len(g.adj) {
+	if v < 0 || v >= g.n {
 		return nil, fmt.Errorf("graph: view centre %d out of range", v)
 	}
 	type state struct {
@@ -306,13 +365,13 @@ func (g *Graph) View(v, h int) (*colsys.Finite, error) {
 	for depth := 0; depth < h; depth++ {
 		var next []state
 		for _, s := range frontier {
-			for c, peer := range g.adj[s.node] {
-				if c == s.word.Tail() {
+			for _, half := range g.Incident(s.node) {
+				if half.Color == s.word.Tail() {
 					continue // backtracking: same edge colour returns along the same edge
 				}
-				w := s.word.Append(c)
+				w := s.word.Append(half.Color)
 				words = append(words, w)
-				next = append(next, state{word: w, node: peer})
+				next = append(next, state{word: w, node: half.Peer})
 			}
 		}
 		frontier = next
@@ -326,7 +385,7 @@ func (g *Graph) View(v, h int) (*colsys.Finite, error) {
 func (g *Graph) NodeAt(v int, w group.Word) (int, bool) {
 	cur := v
 	for i := 0; i < w.Norm(); i++ {
-		peer, ok := g.adj[cur][w.At(i)]
+		peer, ok := g.Neighbor(cur, w.At(i))
 		if !ok {
 			return 0, false
 		}
@@ -362,18 +421,18 @@ func CheckMatching(g *Graph, outs []mm.Output) error {
 	}
 	for v, out := range outs {
 		if !out.IsMatched() {
-			for c, peer := range g.adj[v] {
-				if !outs[peer].IsMatched() {
+			for _, half := range g.Incident(v) {
+				if !outs[half.Peer].IsMatched() {
 					return &MatchingError{
 						Property: mm.M3, Node: v, Output: out,
 						Detail: fmt.Sprintf("nodes %d and %d are adjacent (colour %v) and both unmatched",
-							v, peer, c),
+							v, half.Peer, half.Color),
 					}
 				}
 			}
 			continue
 		}
-		peer, ok := g.adj[v][out.Color]
+		peer, ok := g.Neighbor(v, out.Color)
 		if !ok {
 			return &MatchingError{
 				Property: mm.M1, Node: v, Output: out,
@@ -398,7 +457,7 @@ func MatchingEdges(g *Graph, outs []mm.Output) []Edge {
 		if !out.IsMatched() {
 			continue
 		}
-		peer, ok := g.adj[v][out.Color]
+		peer, ok := g.Neighbor(v, out.Color)
 		if !ok || v > peer || outs[peer] != out {
 			continue
 		}
@@ -443,7 +502,7 @@ func SequentialGreedy(g *Graph, order []group.Color) []mm.Output {
 	type pair struct{ u, v int }
 	edges := make([]pair, len(halves)/2)
 	fill := make([]int, g.k+1)
-	for v := range g.adj {
+	for v := 0; v < g.n; v++ {
 		lo, hi := g.flat.offsets[v], g.flat.offsets[v+1]
 		for i := lo; i < hi; i++ {
 			if i < mates[i] {
@@ -509,13 +568,39 @@ type WorstCase struct {
 	V int // endpoint of the (k−1)-edge path (colours k, k−1, …, 2)
 }
 
-// NewWorstCase builds the §1.2 instance for a given k ≥ 2.
+// NewWorstCase builds the §1.2 instance for a given k ≥ 2, directly in CSR
+// form via the builder.
 func NewWorstCase(k int) (*WorstCase, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("graph: worst case needs k ≥ 2, got %d", k)
 	}
 	// Component 1: u = node 0, edges k, k−1, …, 1 (k+1 nodes).
 	// Component 2: v = node k+1, edges k, k−1, …, 2 (k nodes).
+	b := NewCSRBuilder(2*k+1, k)
+	for i := 0; i < k; i++ {
+		if err := b.AddEdge(i, i+1, group.Color(k-i)); err != nil {
+			return nil, err
+		}
+	}
+	base := k + 1
+	for i := 0; i < k-1; i++ {
+		if err := b.AddEdge(base+i, base+i+1, group.Color(k-i)); err != nil {
+			return nil, err
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &WorstCase{G: g, U: 0, V: base}, nil
+}
+
+// LegacyNewWorstCase is the original map-based construction of the §1.2
+// instance, retained as the pinning oracle for the CSR builder port.
+func LegacyNewWorstCase(k int) (*WorstCase, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("graph: worst case needs k ≥ 2, got %d", k)
+	}
 	g := New(2*k+1, k)
 	for i := 0; i < k; i++ {
 		if err := g.AddEdge(i, i+1, group.Color(k-i)); err != nil {
@@ -534,9 +619,27 @@ func NewWorstCase(k int) (*WorstCase, error) {
 // RandomMatchingUnion builds a random properly k-edge-coloured graph on n
 // nodes as a union of k partial random matchings: for each colour, nodes
 // are shuffled and paired with probability density. The result has maximum
-// degree ≤ k and is always properly coloured.
+// degree ≤ k and is always properly coloured. The construction runs on the
+// CSR builder — no per-node maps — and consumes the rng stream exactly as
+// the legacy path did, so a given (n, k, density, seed) names the same
+// graph it always has (tests pin the CSR arrays byte-identical against
+// LegacyRandomMatchingUnion).
 func RandomMatchingUnion(n, k int, density float64, rng *rand.Rand) *Graph {
-	g := New(n, k)
+	b := NewCSRBuilder(n, k)
+	randomMatchingUnionInto(b, n, k, density, rng)
+	g, err := b.Build()
+	if err != nil {
+		// The builder enforces the same invariants the generator respects
+		// by construction; a failure here is a bug, not an input error.
+		panic(err)
+	}
+	return g
+}
+
+// randomMatchingUnionInto streams the matching-union edges into an existing
+// builder; internal/gen reuses it for the double-cover scenario.
+func randomMatchingUnionInto(b *CSRBuilder, n, k int, density float64, rng *rand.Rand) {
+	b.Grow(int(density * float64(k) * float64(n) / 2))
 	perm := make([]int, n)
 	for c := group.Color(1); int(c) <= k; c++ {
 		for i := range perm {
@@ -549,6 +652,26 @@ func RandomMatchingUnion(n, k int, density float64, rng *rand.Rand) *Graph {
 			}
 			// Parallel edges are skipped (the colour is still free at both
 			// endpoints, but the pair may already be joined).
+			b.TryAddEdge(perm[i], perm[i+1], c)
+		}
+	}
+}
+
+// LegacyRandomMatchingUnion is the original per-node-map construction,
+// retained as the pinning oracle and the allocation baseline BenchmarkGen*
+// compares the builder against.
+func LegacyRandomMatchingUnion(n, k int, density float64, rng *rand.Rand) *Graph {
+	g := New(n, k)
+	perm := make([]int, n)
+	for c := group.Color(1); int(c) <= k; c++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for i := 0; i+1 < n; i += 2 {
+			if rng.Float64() > density {
+				continue
+			}
 			_ = g.AddEdge(perm[i], perm[i+1], c)
 		}
 	}
@@ -556,10 +679,52 @@ func RandomMatchingUnion(n, k int, density float64, rng *rand.Rand) *Graph {
 }
 
 // RandomRegular builds a random k-regular properly k-edge-coloured graph on
-// n nodes (n even): every colour class is a perfect matching. Colour
-// classes are resampled on conflicts, so the graph is simple; for very
-// small n the attempt may fail and the colour class stays partial.
+// n nodes (n even): every colour class is a perfect matching, drawn as a
+// random permutation paired off two by two (the permutation-union
+// construction). Colour classes are resampled on conflicts, so the graph
+// is simple; for very small n the attempt may fail. The construction runs
+// on the CSR builder with the legacy rng stream (see RandomMatchingUnion).
 func RandomRegular(n, k int, rng *rand.Rand) (*Graph, error) {
+	if n%2 != 0 {
+		return nil, fmt.Errorf("graph: RandomRegular needs even n, got %d", n)
+	}
+	b := NewCSRBuilder(n, k)
+	b.Grow(n * k / 2)
+	perm := make([]int, n)
+	for c := group.Color(1); int(c) <= k; c++ {
+		placed := false
+		for attempt := 0; attempt < 50 && !placed; attempt++ {
+			for i := range perm {
+				perm[i] = i
+			}
+			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			ok := true
+			for i := 0; i+1 < n; i += 2 {
+				if b.HasEdge(perm[i], perm[i+1]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for i := 0; i+1 < n; i += 2 {
+				if err := b.AddEdge(perm[i], perm[i+1], c); err != nil {
+					return nil, err
+				}
+			}
+			placed = true
+		}
+		if !placed {
+			return nil, fmt.Errorf("graph: could not place colour class %v without parallel edges", c)
+		}
+	}
+	return b.Build()
+}
+
+// LegacyRandomRegular is the original map-based construction, retained as
+// the pinning oracle for the CSR builder port.
+func LegacyRandomRegular(n, k int, rng *rand.Rand) (*Graph, error) {
 	if n%2 != 0 {
 		return nil, fmt.Errorf("graph: RandomRegular needs even n, got %d", n)
 	}
@@ -645,8 +810,37 @@ func Figure1() (*Graph, error) {
 // RandomBoundedDegree builds a random properly coloured graph with maximum
 // degree ≤ delta and colours drawn uniformly from the full palette 1…k:
 // the k ≫ Δ regime of §1.3. It attempts `attempts` random edges, skipping
-// any that would violate the degree bound or the proper colouring.
+// any that would violate the degree bound or the proper colouring. Like
+// RandomMatchingUnion it runs on the CSR builder with the legacy rng
+// stream, so seeds keep naming the same instances.
 func RandomBoundedDegree(n, k, delta, attempts int, rng *rand.Rand) *Graph {
+	b := NewCSRBuilder(n, k)
+	if hint := n * delta / 2; hint < attempts {
+		b.Grow(hint)
+	} else {
+		b.Grow(attempts)
+	}
+	for i := 0; i < attempts; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v || b.Degree(u) >= delta || b.Degree(v) >= delta {
+			continue
+		}
+		c := group.Color(1 + rng.Intn(k))
+		// TryAddEdge enforces the remaining constraints; collisions are skipped.
+		b.TryAddEdge(u, v, c)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// LegacyRandomBoundedDegree is the original per-node-map construction,
+// retained as the pinning oracle and the allocation baseline for
+// BenchmarkGen*.
+func LegacyRandomBoundedDegree(n, k, delta, attempts int, rng *rand.Rand) *Graph {
 	g := New(n, k)
 	for i := 0; i < attempts; i++ {
 		u := rng.Intn(n)
@@ -655,7 +849,6 @@ func RandomBoundedDegree(n, k, delta, attempts int, rng *rand.Rand) *Graph {
 			continue
 		}
 		c := group.Color(1 + rng.Intn(k))
-		// AddEdge enforces the remaining constraints; collisions are skipped.
 		_ = g.AddEdge(u, v, c)
 	}
 	return g

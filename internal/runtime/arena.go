@@ -13,6 +13,10 @@ type ColorList struct {
 	Colors []group.Color
 }
 
+// WireBytes implements Sizer for the traffic histograms: a colour list
+// costs one machine word per colour on the wire.
+func (l *ColorList) WireBytes() int { return 8 * len(l.Colors) }
+
 // RoundArena is a per-worker bump allocator for one round's outgoing
 // message payloads. The engine hands it to ArenaMachine implementations
 // during the send phase and resets it once the round's receive phase has

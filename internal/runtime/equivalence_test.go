@@ -15,7 +15,7 @@ import (
 // the same instances and demand bit-identical results.
 type engineRun struct {
 	name string
-	run  func(*graph.Graph, []int, runtime.Factory, int) ([]mm.Output, *runtime.Stats, error)
+	run  func(*graph.Graph, []int, runtime.Source, int) ([]mm.Output, *runtime.Stats, error)
 }
 
 func engines() []engineRun {
@@ -23,7 +23,7 @@ func engines() []engineRun {
 		{"sequential", runtime.RunSequentialLabeled},
 		{"concurrent", runtime.RunConcurrentLabeled},
 		{"workers", runtime.RunWorkersLabeled},
-		{"workers-3", func(g *graph.Graph, labels []int, f runtime.Factory, max int) ([]mm.Output, *runtime.Stats, error) {
+		{"workers-3", func(g *graph.Graph, labels []int, f runtime.Source, max int) ([]mm.Output, *runtime.Stats, error) {
 			return runtime.RunWorkersN(g, labels, f, max, 3)
 		}},
 	}
@@ -31,7 +31,7 @@ func engines() []engineRun {
 
 // checkAgree runs every engine and compares outputs, rounds, messages and
 // per-node halt times against the sequential reference.
-func checkAgree(t *testing.T, name string, g *graph.Graph, labels []int, factory runtime.Factory, maxRounds int) {
+func checkAgree(t *testing.T, name string, g *graph.Graph, labels []int, factory runtime.Source, maxRounds int) {
 	t.Helper()
 	var refOuts []mm.Output
 	var refStats *runtime.Stats
@@ -58,6 +58,27 @@ func checkAgree(t *testing.T, name string, g *graph.Graph, labels []int, factory
 			if stats.HaltTimes[v] != refStats.HaltTimes[v] {
 				t.Fatalf("%s/%s: halt time of %d differs (%d vs %d)", name, e.name, v,
 					stats.HaltTimes[v], refStats.HaltTimes[v])
+			}
+		}
+		// Slab engines record per-round traffic; where both sides have it
+		// (the goroutine-per-node engine leaves it nil) it must agree with
+		// the sequential reference round for round.
+		if stats.PerRound != nil {
+			if len(stats.PerRound) != len(refStats.PerRound) {
+				t.Fatalf("%s/%s: %d per-round entries, sequential %d", name, e.name,
+					len(stats.PerRound), len(refStats.PerRound))
+			}
+			total := 0
+			for r := range stats.PerRound {
+				if stats.PerRound[r] != refStats.PerRound[r] {
+					t.Fatalf("%s/%s round %d: traffic %+v, sequential %+v", name, e.name, r+1,
+						stats.PerRound[r], refStats.PerRound[r])
+				}
+				total += stats.PerRound[r].Messages
+			}
+			if total != stats.Messages {
+				t.Fatalf("%s/%s: per-round messages sum to %d, Messages = %d", name, e.name,
+					total, stats.Messages)
 			}
 		}
 	}

@@ -78,7 +78,7 @@ func TestEnginesAgreeOnRandomProtocols(t *testing.T) {
 			seeds[i] = rng.Int63()
 		}
 
-		factoryFor := func() func() Machine {
+		factoryFor := func() Factory {
 			i := 0
 			return func() Machine {
 				m := &chatterMachine{seed: seeds[i%n]}

@@ -12,8 +12,11 @@
 //
 // Three engines execute the same Machine protocol:
 //
-//   - RunSequential: a deterministic single-goroutine reference engine
-//     driving the map-based Machine interface directly.
+//   - RunSequential: a deterministic single-goroutine engine on the dense
+//     message slab — the single-threaded mirror of RunWorkers, driving
+//     FlatMachine/ArenaMachine implementations through their fast paths
+//     (and plain Machines through maps), so the concurrent fast path is
+//     pinned against a sequential flat reference.
 //   - RunConcurrent: one goroutine per node with a buffered channel per
 //     directed edge. Synchrony is maintained without a global barrier by an
 //     α-synchroniser discipline: every live node sends exactly one frame on
@@ -62,6 +65,22 @@ type NodeInfo struct {
 	Label  int
 }
 
+// Sizer is an optional interface for messages that want accurate byte
+// accounting in the per-round traffic histograms: WireBytes reports the
+// payload size in bytes. Messages without it count as one byte (a control
+// word), which is exact for the wire vocabulary of the dist machines.
+type Sizer interface {
+	WireBytes() int
+}
+
+// messageBytes is the histogram size of one message.
+func messageBytes(m Message) int {
+	if s, ok := m.(Sizer); ok {
+		return s.WireBytes()
+	}
+	return 1
+}
+
 // Machine is the per-node state machine of a synchronous distributed
 // algorithm. The engine drives it as:
 //
@@ -89,8 +108,38 @@ type Machine interface {
 	Output() mm.Output
 }
 
-// Factory creates one fresh Machine per node.
+// Source produces the machines of one engine run. Engines know their node
+// count up front, so the primitive is a single batch request rather than n
+// individual factory calls; pooling-aware sources (NewPool) return the same
+// backing machines — and the same boxed slice — run after run, which is
+// what makes repeated executions allocation-free. The returned slice is
+// owned by the source and must not be mutated by the caller; machines are
+// handed out in node order.
+type Source interface {
+	NewPool(n int) []Machine
+}
+
+// Factory creates one fresh Machine per node. It is the simplest Source:
+// NewPool is n independent factory calls in node order.
 type Factory func() Machine
+
+// NewPool implements Source.
+func (f Factory) NewPool(n int) []Machine {
+	ms := make([]Machine, n)
+	for i := range ms {
+		ms[i] = f()
+	}
+	return ms
+}
+
+// RoundTraffic is one round's delivered traffic on a slab engine.
+type RoundTraffic struct {
+	// Messages counts edge-messages delivered in the round.
+	Messages int
+	// Bytes is the total payload size of those messages: WireBytes for
+	// messages implementing Sizer, one byte per bare control message.
+	Bytes int
+}
 
 // Stats aggregates an execution.
 type Stats struct {
@@ -101,6 +150,13 @@ type Stats struct {
 	Messages int
 	// HaltTimes records, per node, the round after which it halted.
 	HaltTimes []int
+	// PerRound is the per-round message/byte histogram, recorded by the
+	// slab engines (RunSequential and RunWorkers); PerRound[r-1] describes
+	// round r, and the message counts sum to Messages. The goroutine-per-
+	// node engine leaves it nil. Compare against the paper's communication
+	// bounds: greedy delivers at most one message per node per round, the
+	// reduction phases one colour list per directed edge.
+	PerRound []RoundTraffic
 }
 
 // DefaultMaxRounds bounds executions to catch non-terminating protocols.
@@ -108,66 +164,149 @@ func DefaultMaxRounds(g *graph.Graph) int { return 4*g.K() + g.N() + 16 }
 
 // RunSequential executes the protocol with a deterministic single-threaded
 // engine and returns every node's output.
-func RunSequential(g *graph.Graph, factory Factory, maxRounds int) ([]mm.Output, *Stats, error) {
-	return RunSequentialLabeled(g, nil, factory, maxRounds)
+func RunSequential(g *graph.Graph, src Source, maxRounds int) ([]mm.Output, *Stats, error) {
+	return RunSequentialLabeled(g, nil, src, maxRounds)
 }
 
 // RunSequentialLabeled is RunSequential with per-node input labels (§1.1's
 // "2-coloured graphs" provide the bipartition this way). labels may be nil;
 // otherwise it must have one entry per node.
-func RunSequentialLabeled(g *graph.Graph, labels []int, factory Factory, maxRounds int) ([]mm.Output, *Stats, error) {
+//
+// The engine is the single-threaded mirror of RunWorkers: messages live in
+// a dense per-directed-edge slab, FlatMachines are driven through their
+// colour-indexed buffers, ArenaMachines bump-allocate payloads from a round
+// arena, and plain Machines keep the map protocol. It is therefore a flat
+// sequential reference: the cross-engine equivalence tests pin the workers
+// fast path against it, not just against the map path, while the map-based
+// RunConcurrent stays as the independent map-protocol witness.
+func RunSequentialLabeled(g *graph.Graph, labels []int, src Source, maxRounds int) ([]mm.Output, *Stats, error) {
 	if err := checkLabels(g, labels); err != nil {
 		return nil, nil, err
 	}
 	n := g.N()
-	machines := make([]Machine, n)
-	halted := make([]bool, n)
 	stats := &Stats{HaltTimes: make([]int, n)}
-	incidents := make([][]graph.Half, n)
+	if n == 0 {
+		return []mm.Output{}, stats, nil
+	}
+	g.Flatten()
+	k := g.K()
+	halves := g.Halves()
+	mates := g.Mates()
+	machines := src.NewPool(n)
+	flats := make([]FlatMachine, n)
+	arenaMs := make([]ArenaMachine, n)
+	halted := make([]bool, n)
+	offsets := make([]int, n+1)
+	live := 0
 	for v := 0; v < n; v++ {
-		machines[v] = factory()
-		machines[v].Init(NodeInfo{K: g.K(), Colors: g.IncidentColors(v), Label: labelOf(labels, v)})
-		halted[v] = machines[v].Halted()
-		incidents[v] = g.Incident(v)
+		m := machines[v]
+		if fm, ok := m.(FlatMachine); ok {
+			flats[v] = fm
+		}
+		if am, ok := m.(ArenaMachine); ok {
+			arenaMs[v] = am
+		}
+		m.Init(NodeInfo{K: k, Colors: g.IncidentColors(v), Label: labelOf(labels, v)})
+		halted[v] = m.Halted()
+		if !halted[v] {
+			live++
+		}
+		_, offsets[v+1] = g.HalfRange(v)
 	}
 
-	for round := 1; ; round++ {
-		if allTrue(halted) {
-			break
-		}
+	// slab[i] is the message in flight on directed edge i (= Halves()[i]),
+	// written by the sender and consumed (re-nilled) by the reader. Slots
+	// whose reader has halted may keep a stale message; a halted reader
+	// never reads again, so they are harmless — exactly as in RunWorkers.
+	slab := make([]Message, len(halves))
+	outBuf := make([]Message, k+1)
+	inBuf := make([]Message, k+1)
+	var arena RoundArena
+	for round := 1; live > 0; round++ {
 		if round > maxRounds {
 			return nil, nil, fmt.Errorf("runtime: no termination within %d rounds", maxRounds)
 		}
+		// The previous round's receives are done, so arena payloads are
+		// no longer referenced and the slabs can be recycled.
+		arena.Reset()
 		// Phase 1: all sends, before any receive (synchronous rounds).
-		sends := make([]map[group.Color]Message, n)
-		for v := 0; v < n; v++ {
-			if !halted[v] {
-				sends[v] = machines[v].Send()
-			}
-		}
-		// Phase 2: deliver and update.
 		for v := 0; v < n; v++ {
 			if halted[v] {
 				continue
 			}
-			// The in-map is allocated lazily: nil-map reads are fine for
-			// machines, and most (node, round) pairs receive nothing.
-			var in map[group.Color]Message
-			for _, half := range incidents[v] {
-				if msg, ok := sends[half.Peer][half.Color]; ok && msg != nil {
-					if in == nil {
-						in = make(map[group.Color]Message, len(incidents[v]))
+			vlo, vhi := offsets[v], offsets[v+1]
+			if fm := flats[v]; fm != nil {
+				if am := arenaMs[v]; am != nil {
+					am.SendFlatArena(outBuf, &arena)
+				} else {
+					fm.SendFlat(outBuf)
+				}
+				for i := vlo; i < vhi; i++ {
+					if msg := outBuf[halves[i].Color]; msg != nil {
+						slab[i] = msg
+						outBuf[halves[i].Color] = nil
 					}
-					in[half.Color] = msg
-					stats.Messages++
+				}
+			} else {
+				msgs := machines[v].Send()
+				for i := vlo; i < vhi; i++ {
+					// nil values mean "send nothing", as in every engine.
+					if msg, ok := msgs[halves[i].Color]; ok && msg != nil {
+						slab[i] = msg
+					}
 				}
 			}
-			machines[v].Receive(in)
-			if machines[v].Halted() {
+		}
+		// Phase 2: deliver and update.
+		var traffic RoundTraffic
+		for v := 0; v < n; v++ {
+			if halted[v] {
+				continue
+			}
+			vlo, vhi := offsets[v], offsets[v+1]
+			m := machines[v]
+			if fm := flats[v]; fm != nil {
+				got := 0
+				for i := vlo; i < vhi; i++ {
+					if msg := slab[mates[i]]; msg != nil {
+						inBuf[halves[i].Color] = msg
+						slab[mates[i]] = nil
+						got++
+						traffic.Bytes += messageBytes(msg)
+					}
+				}
+				traffic.Messages += got
+				fm.ReceiveFlat(inBuf)
+				if got > 0 {
+					for i := vlo; i < vhi; i++ {
+						inBuf[halves[i].Color] = nil
+					}
+				}
+			} else {
+				// The in-map is allocated lazily: nil-map reads are fine
+				// for machines, and most (node, round) pairs get nothing.
+				var in map[group.Color]Message
+				for i := vlo; i < vhi; i++ {
+					if msg := slab[mates[i]]; msg != nil {
+						if in == nil {
+							in = make(map[group.Color]Message, vhi-vlo)
+						}
+						in[halves[i].Color] = msg
+						slab[mates[i]] = nil
+						traffic.Messages++
+						traffic.Bytes += messageBytes(msg)
+					}
+				}
+				m.Receive(in)
+			}
+			if m.Halted() {
 				halted[v] = true
 				stats.HaltTimes[v] = round
+				live--
 			}
 		}
+		stats.Messages += traffic.Messages
+		stats.PerRound = append(stats.PerRound, traffic)
 		stats.Rounds = round
 	}
 
@@ -189,12 +328,12 @@ type frame struct {
 // buffered channel per directed edge. For deterministic machines its
 // outputs coincide with RunSequential; the message and round statistics are
 // identical as well.
-func RunConcurrent(g *graph.Graph, factory Factory, maxRounds int) ([]mm.Output, *Stats, error) {
-	return RunConcurrentLabeled(g, nil, factory, maxRounds)
+func RunConcurrent(g *graph.Graph, src Source, maxRounds int) ([]mm.Output, *Stats, error) {
+	return RunConcurrentLabeled(g, nil, src, maxRounds)
 }
 
 // RunConcurrentLabeled is RunConcurrent with per-node input labels.
-func RunConcurrentLabeled(g *graph.Graph, labels []int, factory Factory, maxRounds int) ([]mm.Output, *Stats, error) {
+func RunConcurrentLabeled(g *graph.Graph, labels []int, src Source, maxRounds int) ([]mm.Output, *Stats, error) {
 	if err := checkLabels(g, labels); err != nil {
 		return nil, nil, err
 	}
@@ -219,12 +358,9 @@ func RunConcurrentLabeled(g *graph.Graph, labels []int, factory Factory, maxRoun
 	errs := make([]error, n)
 
 	// Machines are created in node order before any goroutine starts, so
-	// factories that hand out per-call state behave identically under both
+	// sources that hand out per-call state behave identically under both
 	// engines.
-	machines := make([]Machine, n)
-	for v := 0; v < n; v++ {
-		machines[v] = factory()
-	}
+	machines := src.NewPool(n)
 
 	var wg sync.WaitGroup
 	for v := 0; v < n; v++ {
@@ -315,13 +451,4 @@ func labelOf(labels []int, v int) int {
 		return 0
 	}
 	return labels[v]
-}
-
-func allTrue(b []bool) bool {
-	for _, x := range b {
-		if !x {
-			return false
-		}
-	}
-	return true
 }

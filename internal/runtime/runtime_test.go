@@ -59,7 +59,7 @@ func triangleFree(t *testing.T) *graph.Graph {
 
 func TestSequentialMechanics(t *testing.T) {
 	g := triangleFree(t)
-	outs, stats, err := RunSequential(g, func() Machine { return &echoMachine{target: 2, selfName: "x"} }, 10)
+	outs, stats, err := RunSequential(g, Factory(func() Machine { return &echoMachine{target: 2, selfName: "x"} }), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestSequentialMechanics(t *testing.T) {
 
 func TestConcurrentMatchesSequential(t *testing.T) {
 	g := triangleFree(t)
-	factory := func() Machine { return &echoMachine{target: 3, selfName: "m"} }
+	factory := Factory(func() Machine { return &echoMachine{target: 3, selfName: "m"} })
 	_, seqStats, err := RunSequential(g, factory, 10)
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +97,7 @@ func TestConcurrentMatchesSequential(t *testing.T) {
 
 func TestHaltAtTimeZero(t *testing.T) {
 	g := triangleFree(t)
-	outs, stats, err := RunSequential(g, func() Machine { return &echoMachine{target: 0} }, 10)
+	outs, stats, err := RunSequential(g, Factory(func() Machine { return &echoMachine{target: 0} }), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestHaltAtTimeZero(t *testing.T) {
 	}
 	_ = outs
 
-	outs2, stats2, err := RunConcurrent(g, func() Machine { return &echoMachine{target: 0} }, 10)
+	outs2, stats2, err := RunConcurrent(g, Factory(func() Machine { return &echoMachine{target: 0} }), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,11 +125,11 @@ func TestStaggeredHalting(t *testing.T) {
 	}
 	targets := []int{1, 3, 2, 4}
 	i := 0
-	factory := func() Machine {
+	factory := Factory(func() Machine {
 		m := &echoMachine{target: targets[i%4], selfName: "n"}
 		i++
 		return m
-	}
+	})
 	_, seqStats, err := RunSequential(g, factory, 10)
 	if err != nil {
 		t.Fatal(err)
@@ -151,7 +151,7 @@ func TestStaggeredHalting(t *testing.T) {
 
 func TestMaxRoundsExceeded(t *testing.T) {
 	g := triangleFree(t)
-	factory := func() Machine { return &echoMachine{target: 99, selfName: "z"} }
+	factory := Factory(func() Machine { return &echoMachine{target: 99, selfName: "z"} })
 	if _, _, err := RunSequential(g, factory, 5); err == nil ||
 		!strings.Contains(err.Error(), "no termination") {
 		t.Errorf("sequential err = %v, want termination error", err)

@@ -36,19 +36,19 @@ type FlatMachine interface {
 // in a dense per-directed-edge slab, so the round loop performs no
 // allocations. Outputs and statistics coincide with RunSequential and
 // RunConcurrent for deterministic machines.
-func RunWorkers(g *graph.Graph, factory Factory, maxRounds int) ([]mm.Output, *Stats, error) {
-	return RunWorkersN(g, nil, factory, maxRounds, goruntime.GOMAXPROCS(0))
+func RunWorkers(g *graph.Graph, src Source, maxRounds int) ([]mm.Output, *Stats, error) {
+	return RunWorkersN(g, nil, src, maxRounds, goruntime.GOMAXPROCS(0))
 }
 
 // RunWorkersLabeled is RunWorkers with per-node input labels.
-func RunWorkersLabeled(g *graph.Graph, labels []int, factory Factory, maxRounds int) ([]mm.Output, *Stats, error) {
-	return RunWorkersN(g, labels, factory, maxRounds, goruntime.GOMAXPROCS(0))
+func RunWorkersLabeled(g *graph.Graph, labels []int, src Source, maxRounds int) ([]mm.Output, *Stats, error) {
+	return RunWorkersN(g, labels, src, maxRounds, goruntime.GOMAXPROCS(0))
 }
 
 // RunWorkersN is RunWorkersLabeled with an explicit worker count. The
 // result is independent of the worker count: the two phase barriers per
 // round make every interleaving equivalent to the sequential schedule.
-func RunWorkersN(g *graph.Graph, labels []int, factory Factory, maxRounds, workers int) ([]mm.Output, *Stats, error) {
+func RunWorkersN(g *graph.Graph, labels []int, src Source, maxRounds, workers int) ([]mm.Output, *Stats, error) {
 	if err := checkLabels(g, labels); err != nil {
 		return nil, nil, err
 	}
@@ -82,15 +82,23 @@ func RunWorkersN(g *graph.Graph, labels []int, factory Factory, maxRounds, worke
 	}
 
 	// Machines are created and initialised in node order before any worker
-	// starts, so stateful factories behave identically under every engine.
-	machines := st.machines
+	// starts, so stateful sources behave identically under every engine.
+	// Pooling-aware sources hand back their own boxed slice; the plain
+	// Factory path fills the engine's pooled scratch so neither case boxes
+	// machines per run.
+	var machines []Machine
+	if f, ok := src.(Factory); ok {
+		machines = st.machines
+		for v := 0; v < n; v++ {
+			machines[v] = f()
+		}
+	} else {
+		machines = src.NewPool(n)
+	}
 	flats := st.flats     // nil where the machine is map-only
 	arenaMs := st.arenaMs // nil where the machine takes no arena
 	haltTimes := make([]int, n)
 	var alive int64
-	for v := 0; v < n; v++ {
-		machines[v] = factory()
-	}
 	live := st.live
 	for v := 0; v < n; v++ {
 		m := machines[v]
@@ -134,7 +142,6 @@ func RunWorkersN(g *graph.Graph, labels []int, factory Factory, maxRounds, worke
 
 	bar := newBarrier(workers)
 	errs := make([]error, workers)
-	msgCounts := make([]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := bounds[w], bounds[w+1]
@@ -153,7 +160,10 @@ func RunWorkersN(g *graph.Graph, labels []int, factory Factory, maxRounds, worke
 					active = append(active, int32(v))
 				}
 			}
-			count := 0
+			// traffic[r-1] is this worker's delivered share of round r; the
+			// slice is pooled in the workers state, so steady-state runs
+			// record the histogram without allocating.
+			traffic := st.traffic[w][:0]
 			for round := 1; ; round++ {
 				// alive is stable between the receive barrier and the next
 				// send barrier, so every worker takes the same branch here.
@@ -198,6 +208,7 @@ func RunWorkersN(g *graph.Graph, labels []int, factory Factory, maxRounds, worke
 				bar.wait()
 				// Receive phase: gather each node's incoming slots, deliver,
 				// and clear the consumed slots for the next round.
+				var rt RoundTraffic
 				kept := active[:0]
 				for _, v32 := range active {
 					v := int(v32)
@@ -210,9 +221,10 @@ func RunWorkersN(g *graph.Graph, labels []int, factory Factory, maxRounds, worke
 								inBuf[halves[i].Color] = msg
 								slab[mates[i]] = nil
 								got++
+								rt.Bytes += messageBytes(msg)
 							}
 						}
-						count += got
+						rt.Messages += got
 						fm.ReceiveFlat(inBuf)
 						if got > 0 {
 							for i := vlo; i < vhi; i++ {
@@ -228,7 +240,8 @@ func RunWorkersN(g *graph.Graph, labels []int, factory Factory, maxRounds, worke
 								}
 								in[halves[i].Color] = msg
 								slab[mates[i]] = nil
-								count++
+								rt.Messages++
+								rt.Bytes += messageBytes(msg)
 							}
 						}
 						m.Receive(in)
@@ -241,9 +254,10 @@ func RunWorkersN(g *graph.Graph, labels []int, factory Factory, maxRounds, worke
 					}
 				}
 				active = kept
+				traffic = append(traffic, rt)
 				bar.wait()
 			}
-			msgCounts[w] = count
+			st.traffic[w] = traffic
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -254,8 +268,26 @@ func RunWorkersN(g *graph.Graph, labels []int, factory Factory, maxRounds, worke
 		}
 	}
 	stats := &Stats{HaltTimes: haltTimes}
-	for _, c := range msgCounts {
-		stats.Messages += c
+	// Merge the per-worker round histograms: every worker crosses the same
+	// barriers, so all slices have one entry per executed round.
+	executed := 0
+	for w := 0; w < workers; w++ {
+		if len(st.traffic[w]) > executed {
+			executed = len(st.traffic[w])
+		}
+	}
+	if executed > 0 {
+		per := make([]RoundTraffic, executed)
+		for w := 0; w < workers; w++ {
+			for r, t := range st.traffic[w] {
+				per[r].Messages += t.Messages
+				per[r].Bytes += t.Bytes
+			}
+		}
+		stats.PerRound = per
+		for _, t := range per {
+			stats.Messages += t.Messages
+		}
 	}
 	for v := 0; v < n; v++ {
 		if haltTimes[v] > stats.Rounds {
@@ -282,6 +314,10 @@ type workersState struct {
 	bounds   []int
 	slab     []Message
 	arenas   []RoundArena
+	// traffic[w] is worker w's per-round message/byte counts; the inner
+	// slices keep their capacity across runs so the histogram is free at
+	// steady state.
+	traffic [][]RoundTraffic
 }
 
 var workersStatePool = sync.Pool{New: func() any { return &workersState{} }}
@@ -315,6 +351,11 @@ func (st *workersState) fit(n, h, workers int) {
 		arenas := make([]RoundArena, workers)
 		copy(arenas, st.arenas) // keep already-grown slabs
 		st.arenas = arenas
+	}
+	if len(st.traffic) < workers {
+		traffic := make([][]RoundTraffic, workers)
+		copy(traffic, st.traffic) // keep already-grown round slices
+		st.traffic = traffic
 	}
 	if cap(st.bounds) < workers+1 {
 		st.bounds = make([]int, workers+1)

@@ -13,7 +13,7 @@ import (
 // sequential reference.
 func TestWorkersMatchSequentialMechanics(t *testing.T) {
 	g := triangleFree(t)
-	factory := func() Machine { return &echoMachine{target: 3, selfName: "w"} }
+	factory := Factory(func() Machine { return &echoMachine{target: 3, selfName: "w"} })
 	_, seqStats, err := RunSequential(g, factory, 10)
 	if err != nil {
 		t.Fatal(err)
@@ -67,7 +67,7 @@ func TestWorkersStaggeredHalting(t *testing.T) {
 // zero-round, zero-message run.
 func TestWorkersHaltAtTimeZero(t *testing.T) {
 	g := triangleFree(t)
-	_, stats, err := RunWorkers(g, func() Machine { return &echoMachine{target: 0} }, 10)
+	_, stats, err := RunWorkers(g, Factory(func() Machine { return &echoMachine{target: 0} }), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestWorkersHaltAtTimeZero(t *testing.T) {
 // like the other engines do.
 func TestWorkersMaxRoundsExceeded(t *testing.T) {
 	g := triangleFree(t)
-	factory := func() Machine { return &echoMachine{target: 99, selfName: "z"} }
+	factory := Factory(func() Machine { return &echoMachine{target: 99, selfName: "z"} })
 	if _, _, err := RunWorkersN(g, nil, factory, 5, 2); err == nil ||
 		!strings.Contains(err.Error(), "no termination") {
 		t.Errorf("err = %v, want termination error", err)
@@ -90,7 +90,7 @@ func TestWorkersMaxRoundsExceeded(t *testing.T) {
 // TestWorkersEmptyGraph: a zero-node instance runs to completion.
 func TestWorkersEmptyGraph(t *testing.T) {
 	g := graph.New(0, 3)
-	outs, stats, err := RunWorkers(g, func() Machine { return &echoMachine{} }, 10)
+	outs, stats, err := RunWorkers(g, Factory(func() Machine { return &echoMachine{} }), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,11 +128,11 @@ func TestWorkersFlatFastPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, mapStats, err := RunWorkersN(g, nil, func() Machine { return &echoMachine{target: 3, selfName: "f"} }, 10, 2)
+	_, mapStats, err := RunWorkersN(g, nil, Factory(func() Machine { return &echoMachine{target: 3, selfName: "f"} }), 10, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, flatStats, err := RunWorkersN(g, nil, func() Machine { return &flatEcho{echoMachine{target: 3, selfName: "f"}} }, 10, 2)
+	_, flatStats, err := RunWorkersN(g, nil, Factory(func() Machine { return &flatEcho{echoMachine{target: 3, selfName: "f"}} }), 10, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
