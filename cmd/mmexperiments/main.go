@@ -1,9 +1,9 @@
 // Command mmexperiments regenerates the paper's figures, lemmas and
-// theorems as experiment tables (see EXPERIMENTS.md for the index).
+// theorems as experiment tables (run -list for the index).
 //
 // Usage:
 //
-//	mmexperiments             # run all experiments E1…E14
+//	mmexperiments             # run all registered experiments
 //	mmexperiments -run E9     # run one experiment
 //	mmexperiments -list       # list the registry
 package main

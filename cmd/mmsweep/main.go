@@ -1,0 +1,124 @@
+// Command mmsweep runs algorithms across whole scenario grids and emits
+// machine-readable results with optionally machine-checked communication
+// bounds.
+//
+// A grid spec extends the mmrun scenario DSL with parameter ranges
+// (lo..hi doubles, lo..hi..x4 multiplies, lo..hi..+256 adds, a|b|c lists):
+//
+//	mmsweep -grid 'matching-union:n=4096..65536,k=16..1024' -algo reduced -check-bounds -out sweep.jsonl
+//	mmsweep -grid all -algo greedy,reduced -seeds 3 -check-bounds
+//	mmsweep -grid 'double-cover:n=256..1024' -algo bipartite -out -
+//	mmsweep -grid list
+//
+// Each cell — one (family, parameters, algorithm, repetition) — derives a
+// deterministic seed from -seed, runs on the slab engine, and becomes one
+// JSON line: instance shape, rounds, messages, matching size, the
+// per-round traffic histogram, and (with -check-bounds) any violations of
+// the paper's communication contracts. An aggregate per-(family,
+// algorithm) table goes to stdout (stderr when the JSONL itself goes to
+// stdout). With -check-bounds, any violation makes the exit status 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/sweep"
+)
+
+// gridFlag collects repeated -grid flags.
+type gridFlag []string
+
+func (g *gridFlag) String() string     { return strings.Join(*g, "; ") }
+func (g *gridFlag) Set(v string) error { *g = append(*g, v); return nil }
+
+func main() {
+	var grids gridFlag
+	flag.Var(&grids, "grid", "grid spec name[:param=values,…] with ranges (repeatable); \"all\" sweeps every family, \"list\" prints the registry")
+	algos := flag.String("algo", "greedy", "comma-separated algorithms: greedy, reduced, proposal, bipartite, or \"all\"")
+	seeds := flag.Int("seeds", 1, "seeded repetitions per cell")
+	seed := flag.Int64("seed", 1, "base seed (per-cell seeds derive from it deterministically)")
+	checkBounds := flag.Bool("check-bounds", false, "verify the paper's communication contracts per cell; violations fail the run")
+	out := flag.String("out", "-", "JSONL output path (\"-\" = stdout)")
+	cellWorkers := flag.Int("cell-workers", 0, "concurrent cells (0 = GOMAXPROCS)")
+	engineWorkers := flag.Int("engine-workers", 0, "workers per execution (≤1 = sequential slab engine)")
+	flag.Parse()
+
+	cfg := sweep.Config{
+		Reps:          *seeds,
+		Seed:          *seed,
+		CellWorkers:   *cellWorkers,
+		EngineWorkers: *engineWorkers,
+		CheckBounds:   *checkBounds,
+	}
+	for _, spec := range grids {
+		switch spec {
+		case "list":
+			for _, s := range gen.All() {
+				fmt.Printf("%-16s %s\n  defaults: %s\n", s.Name, s.Doc, s.Params)
+			}
+			return
+		case "all":
+			cfg.Grids = append(cfg.Grids, sweep.DefaultGrids()...)
+		default:
+			cfg.Grids = append(cfg.Grids, spec)
+		}
+	}
+	if len(cfg.Grids) == 0 {
+		fmt.Fprintln(os.Stderr, "mmsweep: no -grid given (try -grid all or -grid list)")
+		os.Exit(2)
+	}
+	if *algos == "all" {
+		cfg.Algos = sweep.AlgoNames()
+	} else {
+		cfg.Algos = strings.Split(*algos, ",")
+	}
+
+	cells, err := sweep.Expand(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "mmsweep: %d cells\n", cells)
+
+	rep, err := sweep.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+		os.Exit(1)
+	}
+
+	jsonlW := io.Writer(os.Stdout)
+	tableW := io.Writer(os.Stderr) // keep the table off the JSONL stream
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		jsonlW, tableW = f, os.Stdout
+	}
+	if err := rep.WriteJSONL(jsonlW); err != nil {
+		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+		os.Exit(1)
+	}
+	if err := rep.RenderTable(tableW); err != nil {
+		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *checkBounds {
+		if vs := rep.Violations(); len(vs) > 0 {
+			fmt.Fprintf(os.Stderr, "mmsweep: %d communication-bound violations:\n", len(vs))
+			for _, v := range vs {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(tableW, "bounds: all communication contracts hold")
+	}
+}

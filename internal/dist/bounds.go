@@ -1,0 +1,92 @@
+package dist
+
+// Contract states a machine's per-instance communication budget as numbers
+// a checker can hold a runtime.Stats against — the machine-checkable form
+// of the bounds the paper proves (or documents) for each algorithm. A zero
+// field means the corresponding dimension is unbounded for that machine and
+// must not be checked. The constructors below are the single source of
+// truth for the per-machine constants; internal/sweep evaluates them
+// against recorded per-round traffic histograms.
+type Contract struct {
+	// Algo names the machine the contract describes.
+	Algo string
+	// MsgsPerNodeRound caps the messages any live node sends in one round
+	// (so a round delivers at most MsgsPerNodeRound × live-nodes messages).
+	MsgsPerNodeRound int
+	// MsgsPerEdgeRound caps the messages crossing any directed edge in one
+	// round (so a round delivers at most MsgsPerEdgeRound × 2|E| messages).
+	MsgsPerEdgeRound int
+	// MaxMessageBytes caps one message's wire size (runtime.Sizer
+	// accounting: one byte per control word, 8 bytes per colour-list entry).
+	MaxMessageBytes int
+	// MaxRounds caps the whole execution's round count.
+	MaxRounds int
+}
+
+// GreedyContract is the §1.2 greedy budget on a k-coloured instance: a free
+// node speaks on at most ONE edge per round (the edge whose colour class is
+// being decided), every message is a one-byte control word, and Lemma 1
+// bounds the run by k−1 rounds.
+func GreedyContract(k int) Contract {
+	return Contract{
+		Algo:             "greedy",
+		MsgsPerNodeRound: 1,
+		MsgsPerEdgeRound: 1,
+		MaxMessageBytes:  1,
+		MaxRounds:        max(0, k-1),
+	}
+}
+
+// ReducedContract is the §1.3 pipeline budget on a k-coloured instance of
+// maximum degree ≤ delta: the reduction and recolouring phases send at most
+// one colour list per directed edge per round (so per node at most its
+// degree ≤ Δ), a list carries at most Δ colours (8 bytes each), and
+// TotalRounds(k, delta) is the exact worst-case round budget — O(log* k)
+// reduction steps, the recolouring countdown, then greedy on the ≤ 2Δ−1
+// palette.
+func ReducedContract(k, delta int) Contract {
+	if delta < 1 {
+		delta = 1
+	}
+	return Contract{
+		Algo:             "reduced",
+		MsgsPerNodeRound: delta,
+		MsgsPerEdgeRound: 1,
+		MaxMessageBytes:  max(1, 8*delta),
+		MaxRounds:        TotalRounds(k, delta),
+	}
+}
+
+// ProposalContract is the palette-oblivious baseline's budget on instances
+// of maximum degree ≤ delta: a free node sends one control word on every
+// live edge (a proposal on the least, beacons on the rest). The paper gives
+// no round bound better than Θ(n) — adversarial chains realise it — so
+// MaxRounds stays unchecked.
+func ProposalContract(delta int) Contract {
+	if delta < 1 {
+		delta = 1
+	}
+	return Contract{
+		Algo:             "proposal",
+		MsgsPerNodeRound: delta,
+		MsgsPerEdgeRound: 1,
+		MaxMessageBytes:  1,
+	}
+}
+
+// BipartiteContract is the §1.1 two-coloured algorithm's budget on
+// instances of maximum degree ≤ delta: each side sends one control word per
+// live edge per round, and every node halts within 2Δ+3 rounds (each
+// propose/accept attempt costs two rounds and a side has at most Δ edges).
+func BipartiteContract(delta int) Contract {
+	if delta < 1 {
+		delta = 1
+	}
+	return Contract{
+		Algo:             "bipartite",
+		MsgsPerNodeRound: delta,
+		MsgsPerEdgeRound: 1,
+		MaxMessageBytes:  1,
+		MaxRounds:        2*delta + 3,
+	}
+}

@@ -1,0 +1,49 @@
+package dist
+
+import "testing"
+
+func TestGreedyContract(t *testing.T) {
+	c := GreedyContract(6)
+	if c.MsgsPerNodeRound != 1 || c.MsgsPerEdgeRound != 1 || c.MaxMessageBytes != 1 {
+		t.Errorf("greedy per-round budget wrong: %+v", c)
+	}
+	if c.MaxRounds != 5 {
+		t.Errorf("greedy MaxRounds = %d, want k-1 = 5", c.MaxRounds)
+	}
+	if got := GreedyContract(1).MaxRounds; got != 0 {
+		t.Errorf("k=1 MaxRounds = %d, want 0", got)
+	}
+}
+
+func TestReducedContractMatchesTotalRounds(t *testing.T) {
+	for _, tc := range []struct{ k, delta int }{{6, 2}, {256, 3}, {1024, 4}} {
+		c := ReducedContract(tc.k, tc.delta)
+		if c.MaxRounds != TotalRounds(tc.k, tc.delta) {
+			t.Errorf("k=%d Δ=%d: MaxRounds %d != TotalRounds %d",
+				tc.k, tc.delta, c.MaxRounds, TotalRounds(tc.k, tc.delta))
+		}
+		if c.MsgsPerEdgeRound != 1 {
+			t.Errorf("reduced must send at most one colour list per directed edge, got %d", c.MsgsPerEdgeRound)
+		}
+		if c.MsgsPerNodeRound != tc.delta {
+			t.Errorf("reduced per-node budget %d, want Δ=%d", c.MsgsPerNodeRound, tc.delta)
+		}
+		if c.MaxMessageBytes != 8*tc.delta {
+			t.Errorf("reduced message cap %d, want 8Δ=%d", c.MaxMessageBytes, 8*tc.delta)
+		}
+	}
+}
+
+func TestProposalAndBipartiteContracts(t *testing.T) {
+	if c := ProposalContract(3); c.MaxRounds != 0 {
+		t.Errorf("proposal has no round bound to check, got %d", c.MaxRounds)
+	}
+	if c := BipartiteContract(4); c.MaxRounds != 11 {
+		t.Errorf("bipartite MaxRounds = %d, want 2Δ+3 = 11", c.MaxRounds)
+	}
+	// Degenerate degree clamps to 1 rather than producing a zero budget
+	// that would read as "unbounded".
+	if c := BipartiteContract(0); c.MsgsPerNodeRound != 1 || c.MaxRounds != 5 {
+		t.Errorf("Δ=0 clamp wrong: %+v", c)
+	}
+}

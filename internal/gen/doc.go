@@ -29,6 +29,22 @@
 // per-node labels (the double-cover family returns the bipartition sides
 // in the encoding of dist.SideWhite/SideBlack).
 //
+// # Grid DSL
+//
+// ParseGrid extends the spec syntax from scalars to value sets, expanding
+// one spec into a whole parameter cross product for sweep drivers:
+//
+//	matching-union:n=4096..65536,k=16..1024      ranges double by default
+//	bounded-degree:n=1024..65536..x4,delta=2|3   x<mult>, +<step>, a|b|c lists
+//
+// Expansion is deterministic (sorted parameter names, first name slowest)
+// and every cell comes back as a complete Params whose String() round-
+// trips through Parse. SubSeed is the companion seed derivation: it mixes
+// a base seed with a chain of string tags through the same splitmix
+// mixing, giving every sweep cell an uncorrelated, order-independent,
+// value-addressed rng stream. internal/sweep and cmd/mmsweep build on
+// both.
+//
 // # Families
 //
 //   - matching-union — union of k partial random matchings (§1.2 random

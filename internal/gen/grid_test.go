@@ -1,0 +1,148 @@
+package gen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func gridValues(t *testing.T, spec, param string) []float64 {
+	t.Helper()
+	_, cells, err := ParseGrid(spec)
+	if err != nil {
+		t.Fatalf("ParseGrid(%q): %v", spec, err)
+	}
+	var out []float64
+	for _, p := range cells {
+		out = append(out, p[param])
+	}
+	return out
+}
+
+func TestParseGridRanges(t *testing.T) {
+	cases := []struct {
+		spec, param string
+		want        []float64
+	}{
+		{"path:n=8", "n", []float64{8}},
+		{"path:n=8..64", "n", []float64{8, 16, 32, 64}},
+		{"path:n=8..64..x4", "n", []float64{8, 32}},
+		{"path:n=8..20..+4", "n", []float64{8, 12, 16, 20}},
+		{"path:n=8|32|16", "n", []float64{8, 32, 16}},
+		{"matching-union:density=0.5..0.9..+0.2", "density", []float64{0.5, 0.7, 0.9}},
+		// Accumulated 0.1 steps drift (0.1+0.1+0.1 ≠ 0.3 in float64); the
+		// range must carry exactly the values the equivalent list names.
+		{"matching-union:density=0.1..0.5..+0.1", "density", []float64{0.1, 0.2, 0.3, 0.4, 0.5}},
+	}
+	for _, c := range cases {
+		if got := gridValues(t, c.spec, c.param); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: got %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParseGridCrossProduct(t *testing.T) {
+	s, cells, err := ParseGrid("matching-union:n=256..1024,k=2|4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "matching-union" {
+		t.Fatalf("scenario %q", s.Name)
+	}
+	// Sorted param order: k varies slower than n.
+	want := [][2]float64{{2, 256}, {2, 512}, {2, 1024}, {4, 256}, {4, 512}, {4, 1024}}
+	if len(cells) != len(want) {
+		t.Fatalf("%d cells, want %d", len(cells), len(want))
+	}
+	for i, p := range cells {
+		if p["k"] != want[i][0] || p["n"] != want[i][1] {
+			t.Errorf("cell %d: k=%v n=%v, want k=%v n=%v", i, p["k"], p["n"], want[i][0], want[i][1])
+		}
+		// Cells are complete: defaults for untouched params are present.
+		if p["density"] != 0.7 {
+			t.Errorf("cell %d: density=%v, want default 0.7", i, p["density"])
+		}
+	}
+}
+
+func TestParseGridCellsRoundTripThroughParse(t *testing.T) {
+	s, cells, err := ParseGrid("matching-union:n=256..512,density=0.5|0.75")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range cells {
+		spec := s.Name + ":" + p.String()
+		s2, overrides, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		merged, err := s2.Params.merged(overrides)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(merged, p) {
+			t.Errorf("round trip of %q: got %v, want %v", spec, merged, p)
+		}
+	}
+}
+
+func TestParseGridErrors(t *testing.T) {
+	cases := []struct{ spec, wantErr string }{
+		{"nope:n=4", "unknown scenario"},
+		{"path:bogus=4", "unknown parameter"},
+		{"path:n", "malformed parameter"},
+		{"path:n=64..8", "empty"},
+		{"path:n=8..64..y3", "malformed step"},
+		{"path:n=8..64..+0", "must be positive"},
+		{"path:n=8..64..x1", "must exceed 1"},
+		{"path:n=0..64", "cannot start at 0"},
+		{"path:n=1..100000..+1", "more than"},
+		{"path:n=8,n=16", "given twice"},
+		{"path:n=8.5", "must be an integer"},
+	}
+	for _, c := range cases {
+		if _, _, err := ParseGrid(c.spec); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("ParseGrid(%q) = %v, want error containing %q", c.spec, err, c.wantErr)
+		}
+	}
+}
+
+func TestParseGridBuildsInstances(t *testing.T) {
+	s, cells, err := ParseGrid("path:n=8..16,k=2|3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range cells {
+		inst, err := s.Build(1, p)
+		if err != nil {
+			t.Fatalf("Build(%v): %v", p, err)
+		}
+		if inst.G.N() != p.Int("n") || inst.G.K() != p.Int("k") {
+			t.Errorf("built n=%d k=%d for params %v", inst.G.N(), inst.G.K(), p)
+		}
+	}
+}
+
+func TestSubSeed(t *testing.T) {
+	a := SubSeed(1, "matching-union", "n=256", "0")
+	if b := SubSeed(1, "matching-union", "n=256", "0"); a != b {
+		t.Error("SubSeed not deterministic")
+	}
+	distinct := map[int64]string{a: "base"}
+	for name, s := range map[string]int64{
+		"other base":  SubSeed(2, "matching-union", "n=256", "0"),
+		"other tag":   SubSeed(1, "matching-union", "n=512", "0"),
+		"other rep":   SubSeed(1, "matching-union", "n=256", "1"),
+		"tag order":   SubSeed(1, "n=256", "matching-union", "0"),
+		"fewer tags":  SubSeed(1, "matching-union", "n=256"),
+		"empty chain": SubSeed(1),
+	} {
+		if prev, dup := distinct[s]; dup {
+			t.Errorf("SubSeed collision between %s and %s", name, prev)
+		}
+		distinct[s] = name
+	}
+	if SubSeed(5) != 5 {
+		t.Error("SubSeed with no tags should be the base seed")
+	}
+}

@@ -1,0 +1,61 @@
+// Package graph implements finite, properly edge-coloured graphs: the
+// concrete problem instances of Hirvonen & Suomela (PODC 2012, §1.2).
+//
+// A proper k-edge-colouring assigns each edge a colour 1…k such that no two
+// edges sharing an endpoint have the same colour. Such graphs are both the
+// inputs and the communication topology of the distributed algorithms in
+// this repository: nodes are anonymous, and a node refers to its incident
+// edges by their colours.
+//
+// # Representations and invariants
+//
+// A Graph keeps up to two representations of its adjacency, and the
+// package invariant is that AT LEAST ONE is always current
+// (adj != nil || flat.valid):
+//
+//   - the per-node colour→peer maps (adj), which back mutation via AddEdge
+//     and the convenience lookups;
+//   - the flat CSR adjacency (one contiguous []Half plus node offsets,
+//     sorted by colour within a node, with a mates index pairing the two
+//     directed halves of each undirected edge), which backs the
+//     zero-allocation read API the execution engines run on: Incident,
+//     IncidentColors, HalfRange, Halves, Mates.
+//
+// Which one exists depends on provenance, and each is materialised from
+// the other lazily:
+//
+//   - Map-built graphs (New + AddEdge) have maps only; the first Flatten
+//     builds the CSR arrays. Engines call Flatten up front — the flat
+//     read API requires it, and building lazily under the engines'
+//     concurrent readers would race.
+//   - CSR-built graphs (FromCSR, and therefore every gen.CSRBuilder
+//     instance) have NO maps at all: the generator fast path never pays
+//     for per-node map allocation. The first mutation — or a map-backed
+//     lookup — materialises the maps from the CSR arrays on demand.
+//
+// Mutation invalidates derived state: AddEdge updates the maps (after
+// materialising them if needed), marks the flat adjacency stale so the
+// next Flatten rebuilds it, and clears the cached Edges() slice. The edge
+// cache is an atomic pointer because Edges() stays safe for the concurrent
+// readers the Flatten contract allows — two racing fills build identical
+// slices and either may win. The steady state of every hot path is
+// therefore: build once (CSRBuilder), Flatten never copies again, and all
+// engine reads are index arithmetic on shared immutable slices.
+//
+// # Generators and validators
+//
+// The package provides generators for the paper's instances — the Figure 1
+// example, the §1.2 worst-case paths (NewWorstCase), unions of random
+// matchings, bounded-degree and k-regular families, windows of
+// Cayley-graph trees (FromSystem) — and the Legacy* map-path twins that
+// pin the CSR ports byte-identical in tests. Richer parameterised families
+// live in internal/gen on top of CSRBuilder.
+//
+// Validate checks the proper-colouring invariants; CheckMatching checks a
+// run's outputs against the matching conditions (M1–M3); SequentialGreedy
+// is the centralized greedy oracle the distributed machines are pinned
+// against. The View function bridges to the view world: the radius-h
+// universal-cover view of a node in a properly coloured graph is exactly a
+// finite colour system, because non-backtracking walks are reduced colour
+// words.
+package graph

@@ -1,18 +1,3 @@
-// Package graph implements finite, properly edge-coloured graphs: the
-// concrete problem instances of Hirvonen & Suomela (PODC 2012, §1.2).
-//
-// A proper k-edge-colouring assigns each edge a colour 1…k such that no two
-// edges sharing an endpoint have the same colour. Such graphs are both the
-// inputs and the communication topology of the distributed algorithms in
-// this repository: nodes are anonymous, and a node refers to its incident
-// edges by their colours.
-//
-// The package provides generators for the paper's instances (the Figure 1
-// example, the §1.2 worst-case paths, unions of random matchings, windows
-// of Cayley-graph trees) and validators for matchings and colourings. The
-// View function bridges to the view world: the radius-h universal-cover
-// view of a node in a properly coloured graph is exactly a finite colour
-// system, because non-backtracking walks are reduced colour words.
 package graph
 
 import (

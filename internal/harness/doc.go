@@ -1,0 +1,35 @@
+// Package harness regenerates every figure, lemma and theorem of Hirvonen
+// & Suomela (PODC 2012) as a runnable experiment, so the whole evaluation
+// doubles as an integration test suite.
+//
+// # Experiments
+//
+// An Experiment couples an ID (E1, E2, …) with the paper artefact it
+// reproduces and a Run function that writes the corresponding rows/series
+// as human-readable tables and returns an error whenever a machine-checked
+// expectation fails. All() lists the registry in order; ByID fetches one;
+// RunAll executes everything with a banner per experiment and returns the
+// first failure after running the rest. cmd/mmexperiments and the
+// top-level benchmarks drive the registry, and the harness tests run every
+// experiment on every `go test ./...`.
+//
+// The registry spans the paper's lower-bound side (colour systems, the
+// Theorem 5 adversary), the upper-bound side (greedy's Lemma 1 schedule,
+// the §1.3 reduction pipeline), and the systems artefacts grown around
+// them: E11 sweeps palette sizes in parallel, E15 catalogues the
+// internal/gen scenario families, E16 runs the internal/sweep grid driver
+// with the paper's communication contracts machine-checked per cell.
+//
+// # Shared machinery
+//
+// Experiments are pure functions of their writer — no init-order effects,
+// no shared state — so they parallelise and re-run freely. Table is the
+// minimal aligned text-table writer the experiments render with (rune-
+// aware, so colour-system notation aligns). ParallelSweep fans a sweep
+// function over inputs on a bounded worker pool while preserving input
+// order and first-error semantics; it delegates to sweep.Parallel, the
+// same fan-out the grid driver uses, so every sweep in the repository
+// shares one concurrency discipline. Sweeps that draw random instances
+// derive an independent seed per input (gen.SubSeed) rather than sharing
+// an rng — that is what keeps parallel and serial renders identical.
+package harness

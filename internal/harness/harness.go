@@ -1,18 +1,11 @@
-// Package harness regenerates every figure, lemma and theorem of Hirvonen
-// & Suomela (PODC 2012) as a runnable experiment. Each experiment prints
-// the rows/series the paper's artefact corresponds to and returns an error
-// if a machine-checked expectation fails, so the whole evaluation doubles
-// as an integration test suite. EXPERIMENTS.md records the mapping and the
-// paper-vs-measured outcomes; cmd/mmexperiments and the top-level
-// benchmarks drive the registry.
 package harness
 
 import (
 	"fmt"
 	"io"
-	goruntime "runtime"
 	"sort"
-	"sync"
+
+	"repro/internal/sweep"
 )
 
 // Experiment is one reproducible artefact of the paper.
@@ -34,7 +27,7 @@ type Experiment struct {
 func All() []Experiment {
 	return []Experiment{
 		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(), e12(),
-		e13(), e14(), e15(),
+		e13(), e14(), e15(), e16(),
 	}
 }
 
@@ -72,27 +65,11 @@ func RunAll(w io.Writer) error {
 // is returned. f must be safe for concurrent invocation: sweeps that draw
 // random instances should derive an independent seed per input rather than
 // share an rng.
+//
+// The implementation is shared with the grid driver: this delegates to
+// sweep.Parallel.
 func ParallelSweep[K, T any](inputs []K, f func(K) (T, error)) ([]T, error) {
-	results := make([]T, len(inputs))
-	errs := make([]error, len(inputs))
-	sem := make(chan struct{}, max(1, goruntime.GOMAXPROCS(0)))
-	var wg sync.WaitGroup
-	for i := range inputs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = f(inputs[i])
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
-	}
-	return results, nil
+	return sweep.Parallel(inputs, 0, f)
 }
 
 // Table is a minimal aligned text-table writer for experiment output.

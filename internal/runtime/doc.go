@@ -1,0 +1,88 @@
+// Package runtime implements the synchronous LOCAL execution model of
+// Hirvonen & Suomela (PODC 2012, §1.2) for anonymous, properly
+// edge-coloured graphs.
+//
+// Each node is a computational entity that initially knows only the colours
+// of its incident edges (and the palette size k). In every round each node,
+// in parallel, (1) sends a message along each incident edge, (2) receives a
+// message from each incident edge, and (3) updates its state. After any
+// round — or immediately after initialisation — a node may stop and announce
+// its local output. The running time of an execution is the number of
+// rounds until every node has stopped.
+//
+// # Machine protocol
+//
+// Machine is the portable per-node interface: Init with the node's initial
+// knowledge, then Send/Receive pairs keyed by incident edge colour until
+// Halted. Two optional extensions unlock the fast paths:
+//
+//   - FlatMachine exchanges the per-round maps for dense colour-indexed
+//     slices (colours are 1…k, so a round's messages fit in a []Message of
+//     length k+1). SendFlat may write out[c] only for the node's incident
+//     colours; nil means "send nothing"; the engine owns the buffers and
+//     machines must not retain them across calls.
+//   - ArenaMachine additionally bump-allocates variable-length payloads
+//     (colour lists) from a per-worker RoundArena during SendFlatArena.
+//     Payloads live exactly as long as the round's messages are in flight:
+//     the engine resets the arena only after a barrier guarantees every
+//     receiver is done. Receivers must not retain a payload — or any slice
+//     into it — past the ReceiveFlat call that delivered it.
+//
+// Engines detect the extensions per node with type assertions, so a single
+// run can mix flat, arena and plain map machines transparently.
+//
+// # The slab message protocol
+//
+// The two production engines (RunSequential and RunWorkers) store messages
+// in a dense slab with one slot per directed edge, indexed exactly like
+// graph.Halves(): slab[i] is the message in flight on directed edge i,
+// written by the sender during the send phase and consumed (re-nilled) by
+// the unique reader during the receive phase. The two phases never overlap
+// — sequentially by program order, concurrently by a round barrier — and
+// each slot has exactly one writer and one reader, so no slot is ever
+// touched concurrently and the round loop allocates nothing. Slots whose
+// reader has halted may keep a stale message; a halted reader never reads
+// again, so they are harmless (and such messages are never counted in the
+// statistics: delivered means read by a live node).
+//
+// # Engines
+//
+// Three engines execute the same protocol and must produce identical
+// outputs and statistics for deterministic machines (tests verify this):
+//
+//   - RunSequential: a deterministic single-goroutine engine on the message
+//     slab — the single-threaded mirror of RunWorkers, driving
+//     FlatMachine/ArenaMachine implementations through their fast paths
+//     (and plain Machines through maps), so the concurrent fast path is
+//     pinned against a sequential flat reference.
+//   - RunWorkers: a fixed worker pool with a round barrier, nodes sharded
+//     across workers in contiguous ranges balanced by degree sum, messages
+//     in the dense slab, per-worker RoundArenas for payloads. This is the
+//     engine that scales to millions of nodes.
+//   - RunConcurrent: one goroutine per node with a buffered channel per
+//     directed edge — the small-n didactic engine; see below.
+//
+// # RunConcurrent is didactic, not a hot path
+//
+// RunConcurrent exists to demonstrate that the synchronous model needs no
+// global coordinator: synchrony is maintained by an α-synchroniser
+// discipline (every live node sends exactly one frame on every live edge
+// per round, so receives naturally align rounds; a halting node sends a
+// farewell frame and the edge goes silent). That faithfulness costs: one
+// goroutine and one map per node per round, one channel per directed edge
+// — about 54k allocations per run at n=4096 where the slab engines do none
+// — and it records no per-round traffic histogram. Use it to sanity-check
+// the slab engines (it is the independent map-protocol witness in the
+// equivalence tests) and to read the model off the code; route every hot
+// path through RunSequential or RunWorkers.
+//
+// # Statistics
+//
+// Stats reports rounds, delivered messages, per-node halt times and — on
+// the slab engines — Stats.PerRound, the per-round message/byte histogram
+// (bytes via the optional Sizer interface; bare control words count one
+// byte). The histogram is what internal/sweep holds against the paper's
+// communication contracts: greedy delivers at most one message per live
+// node per round, the reduction phases at most one colour list per
+// directed edge per round.
+package runtime

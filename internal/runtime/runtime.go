@@ -1,40 +1,3 @@
-// Package runtime implements the synchronous LOCAL execution model of
-// Hirvonen & Suomela (PODC 2012, §1.2) for anonymous, properly
-// edge-coloured graphs.
-//
-// Each node is a computational entity that initially knows only the colours
-// of its incident edges (and the palette size k). In every round each node,
-// in parallel, (1) sends a message along each incident edge, (2) receives a
-// message from each incident edge, and (3) updates its state. After any
-// round — or immediately after initialisation — a node may stop and announce
-// its local output. The running time of an execution is the number of
-// rounds until every node has stopped.
-//
-// Three engines execute the same Machine protocol:
-//
-//   - RunSequential: a deterministic single-goroutine engine on the dense
-//     message slab — the single-threaded mirror of RunWorkers, driving
-//     FlatMachine/ArenaMachine implementations through their fast paths
-//     (and plain Machines through maps), so the concurrent fast path is
-//     pinned against a sequential flat reference.
-//   - RunConcurrent: one goroutine per node with a buffered channel per
-//     directed edge. Synchrony is maintained without a global barrier by an
-//     α-synchroniser discipline: every live node sends exactly one frame on
-//     every live edge per round, so receives naturally align rounds. A
-//     halting node sends a final farewell frame; its neighbours thereafter
-//     treat the edge as silent.
-//   - RunWorkers: a fixed worker pool with a round barrier, nodes sharded
-//     across workers (contiguous ranges balanced by degree sum) and messages
-//     stored in dense per-directed-edge slots, so the round loop allocates
-//     nothing. Machines that implement FlatMachine are driven through
-//     colour-indexed slices; machines that additionally implement
-//     ArenaMachine bump-allocate their variable-length payloads from a
-//     per-worker RoundArena, so even colour-list rounds are allocation-free;
-//     plain Machines are adapted transparently. This is the engine that
-//     scales to millions of nodes (goroutine-per-node does not).
-//
-// All engines must produce identical outputs and statistics for
-// deterministic machines; tests verify this.
 package runtime
 
 import (
@@ -327,7 +290,15 @@ type frame struct {
 // RunConcurrent executes the protocol with one goroutine per node and a
 // buffered channel per directed edge. For deterministic machines its
 // outputs coincide with RunSequential; the message and round statistics are
-// identical as well.
+// identical as well (except Stats.PerRound, which only the slab engines
+// record).
+//
+// This is the small-n didactic engine: it realises the model's "one
+// processor per node" reading literally, at the cost of per-round map and
+// channel-frame allocations — roughly 54k allocations per run at n=4096,
+// where the slab engines allocate nothing. It stays as the independent
+// map-protocol witness in the cross-engine equivalence tests; hot paths
+// belong on RunSequential or RunWorkers.
 func RunConcurrent(g *graph.Graph, src Source, maxRounds int) ([]mm.Output, *Stats, error) {
 	return RunConcurrentLabeled(g, nil, src, maxRounds)
 }

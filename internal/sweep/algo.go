@@ -1,0 +1,89 @@
+package sweep
+
+import (
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/runtime"
+)
+
+// Algo is one runnable algorithm in the sweep registry: how to build its
+// machines for an instance, how many rounds to budget the engine, and which
+// communication contract to hold its traffic against. The per-instance
+// closures exist because reduced and bipartite derive their constants from
+// the instance's maximum degree, not from the palette alone.
+type Algo struct {
+	// Name is the registry key ("greedy", "reduced", "proposal",
+	// "bipartite").
+	Name string
+	// NeedsLabels marks algorithms that require per-node input labels
+	// (bipartite needs the two-colouring); cells on unlabelled families are
+	// skipped, not failed.
+	NeedsLabels bool
+	// Source builds the machine source for one instance.
+	Source func(g *graph.Graph) runtime.Source
+	// MaxRounds is the engine's termination budget for one instance (a
+	// safety net above the contract's bound, not the bound itself).
+	MaxRounds func(g *graph.Graph) int
+	// Contract is the paper's communication budget for one instance.
+	Contract func(g *graph.Graph) dist.Contract
+}
+
+// Algos returns the registered algorithms in a stable order.
+func Algos() []Algo {
+	return []Algo{
+		{
+			Name:      "greedy",
+			Source:    func(*graph.Graph) runtime.Source { return dist.NewGreedyMachine },
+			MaxRounds: runtime.DefaultMaxRounds,
+			Contract:  func(g *graph.Graph) dist.Contract { return dist.GreedyContract(g.K()) },
+		},
+		{
+			Name: "reduced",
+			// The degree bound is taken from the instance itself, so the
+			// machine never sees a graph past its Δ and the documented
+			// panic cannot trigger from a sweep.
+			Source: func(g *graph.Graph) runtime.Source {
+				return dist.NewReducedGreedyMachine(g.MaxDegree())
+			},
+			MaxRounds: func(g *graph.Graph) int {
+				return max(runtime.DefaultMaxRounds(g), dist.TotalRounds(g.K(), g.MaxDegree())+8)
+			},
+			Contract: func(g *graph.Graph) dist.Contract {
+				return dist.ReducedContract(g.K(), g.MaxDegree())
+			},
+		},
+		{
+			Name:      "proposal",
+			Source:    func(*graph.Graph) runtime.Source { return dist.NewProposalMachine },
+			MaxRounds: runtime.DefaultMaxRounds,
+			Contract:  func(g *graph.Graph) dist.Contract { return dist.ProposalContract(g.MaxDegree()) },
+		},
+		{
+			Name:        "bipartite",
+			NeedsLabels: true,
+			Source:      func(*graph.Graph) runtime.Source { return dist.NewBipartiteMachine },
+			MaxRounds:   func(g *graph.Graph) int { return 4*g.MaxDegree() + 16 },
+			Contract:    func(g *graph.Graph) dist.Contract { return dist.BipartiteContract(g.MaxDegree()) },
+		},
+	}
+}
+
+// AlgoNames lists the registered algorithm names in registry order.
+func AlgoNames() []string {
+	all := Algos()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// AlgoByName returns the algorithm with the given name.
+func AlgoByName(name string) (Algo, bool) {
+	for _, a := range Algos() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Algo{}, false
+}

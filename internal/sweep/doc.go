@@ -1,0 +1,44 @@
+// Package sweep is the scenario-grid driver: it runs any registered
+// algorithm across a full scenario grid (family × parameters × repetition),
+// fans the cells out over a worker pool, and holds every execution's
+// recorded per-round traffic histogram against the paper's communication
+// contracts — machine-verified bounds instead of eyeballed -stats output.
+//
+// # Grids and cells
+//
+// A sweep is described by a Config: one or more grid specs in the
+// internal/gen range DSL ("matching-union:n=4096..65536,k=16..1024"), a
+// list of algorithm names from the Algos registry (greedy, reduced,
+// proposal, bipartite), and a repetition count. gen.ParseGrid expands each
+// spec into its parameter cross product; the driver crosses that with the
+// algorithms and repetitions to form cells. Every cell derives its instance
+// seed as gen.SubSeed(base, family, params, rep) — a value-dependent
+// derivation, so re-running the same Config rebuilds byte-identical
+// instances, all algorithms of a cell see the same instance, and result
+// rows are independent of execution order. Cells run concurrently via
+// Parallel (the fan-out shared with harness.ParallelSweep); each execution
+// uses the sequential slab engine by default, or runtime.RunWorkersN when
+// Config.EngineWorkers asks for intra-cell parallelism (the statistics are
+// engine- and worker-count-independent, so the output bytes never change).
+//
+// # Machine-checked bounds
+//
+// Check evaluates a dist.Contract — the per-machine constants for message,
+// byte and round budgets — against a runtime.Stats: greedy sends at most
+// one message per live node per round, the reduction phases at most one
+// colour list per directed edge per round, colour lists carry at most Δ
+// entries, and the total round count respects Lemma 1's k−1 (greedy),
+// dist.TotalRounds (reduced) or 2Δ+3 (bipartite). Violations come back as
+// structured values naming the rule, the round and the numbers, and ride
+// along in the Result rows rather than being printed.
+//
+// # Results
+//
+// Run returns a Report: one Result per cell with the instance shape, round
+// count, matching size, the full per-round histogram and any violations.
+// Report.WriteJSONL emits one JSON object per line — byte-identical for
+// identical Configs, which the golden test pins — and Report.Aggregate
+// folds the rows into a per-(family, algorithm) table for humans.
+// cmd/mmsweep is the CLI; harness experiment E16 runs a smoke grid over
+// all nine families and fails on any violation.
+package sweep

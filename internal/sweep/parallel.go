@@ -1,0 +1,53 @@
+package sweep
+
+import (
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel runs f over every input on a worker pool — min(limit, len)
+// goroutines (limit ≤ 0 means GOMAXPROCS) pulling inputs in order — and
+// returns the results in input order, so a parallelised sweep renders
+// identically to a serial one. Every input runs even after a failure; the
+// first error (in input order) is returned. f must be safe for concurrent
+// invocation: sweeps that draw random instances should derive an
+// independent seed per input rather than share an rng.
+//
+// This is the fan-out primitive behind both the grid driver here and
+// harness.ParallelSweep (which delegates to it). The pool is a fixed set
+// of workers draining an index counter — not a goroutine per input — so a
+// million-cell sweep costs a handful of stacks, not gigabytes of parked
+// goroutines.
+func Parallel[K, T any](inputs []K, limit int, f func(K) (T, error)) ([]T, error) {
+	results := make([]T, len(inputs))
+	errs := make([]error, len(inputs))
+	if limit <= 0 {
+		limit = goruntime.GOMAXPROCS(0)
+	}
+	if limit > len(inputs) {
+		limit = len(inputs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < limit; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(inputs) {
+					return
+				}
+				results[i], errs[i] = f(inputs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Report is a completed sweep: one Result per cell, in cell order.
+type Report struct {
+	Results []Result
+}
+
+// WriteJSONL emits the results as JSON lines, one object per cell. The
+// output is deterministic — cell order is grid order and every field
+// marshals in declaration order — so identical Configs produce
+// byte-identical files (the golden test pins this).
+func (r *Report) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range r.Results {
+		if err := enc.Encode(&r.Results[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Violations flattens every recorded contract breach into one line per
+// violation, prefixed with the violating cell's identity. Empty means the
+// whole sweep conformed.
+func (r *Report) Violations() []string {
+	var out []string
+	for i := range r.Results {
+		res := &r.Results[i]
+		for _, v := range res.Violations {
+			out = append(out, fmt.Sprintf("%s: %s", res.ID(), v))
+		}
+	}
+	return out
+}
+
+// AggRow is one aggregated (scenario, algorithm) row.
+type AggRow struct {
+	Scenario   string
+	Algo       string
+	Cells      int // executed cells
+	Skipped    int // skipped cells (inapplicable algorithm)
+	MaxRounds  int // worst round count across the cells
+	Messages   int // total messages across the cells
+	Bytes      int // total traffic bytes across the cells
+	Matched    int // total matched edges across the cells
+	Violations int // total contract breaches across the cells
+}
+
+// Aggregate folds the results into one row per (scenario, algorithm), in
+// first-appearance order.
+func (r *Report) Aggregate() []AggRow {
+	index := map[[2]string]int{}
+	var rows []AggRow
+	for i := range r.Results {
+		res := &r.Results[i]
+		key := [2]string{res.Scenario, res.Algo}
+		j, ok := index[key]
+		if !ok {
+			j = len(rows)
+			index[key] = j
+			rows = append(rows, AggRow{Scenario: res.Scenario, Algo: res.Algo})
+		}
+		row := &rows[j]
+		if res.Skip != "" {
+			row.Skipped++
+			continue
+		}
+		row.Cells++
+		if res.Rounds > row.MaxRounds {
+			row.MaxRounds = res.Rounds
+		}
+		row.Messages += res.Messages
+		row.Bytes += res.Bytes
+		row.Matched += res.Matched
+		row.Violations += len(res.Violations)
+	}
+	return rows
+}
+
+// RenderTable writes the aggregate as an aligned text table.
+func (r *Report) RenderTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\talgo\tcells\tskipped\tmax rounds\tmessages\tbytes\tmatched\tviolations")
+	for _, row := range r.Aggregate() {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			row.Scenario, row.Algo, row.Cells, row.Skipped, row.MaxRounds,
+			row.Messages, row.Bytes, row.Matched, row.Violations)
+	}
+	return tw.Flush()
+}

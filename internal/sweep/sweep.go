@@ -1,0 +1,228 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mm"
+	"repro/internal/runtime"
+)
+
+// Config describes one sweep.
+type Config struct {
+	// Grids are grid specs in the gen.ParseGrid range DSL, e.g.
+	// "matching-union:n=4096..65536,k=16..1024". Each expands to its
+	// parameter cross product.
+	Grids []string
+	// Algos are algorithm names from the Algos registry. Empty means
+	// greedy only.
+	Algos []string
+	// Reps is the number of seeded repetitions per (family, params, algo)
+	// cell; 0 means 1.
+	Reps int
+	// Seed is the base seed every cell seed is derived from (via
+	// gen.SubSeed, so cells are mutually uncorrelated and order-independent).
+	Seed int64
+	// CellWorkers bounds how many cells run concurrently (0 = GOMAXPROCS).
+	CellWorkers int
+	// EngineWorkers selects the per-cell engine: ≤ 1 runs the sequential
+	// slab engine, > 1 runs runtime.RunWorkersN with that many workers.
+	// Statistics are engine- and worker-count-independent, so this never
+	// changes the results — only the wall clock.
+	EngineWorkers int
+	// CheckBounds holds every execution's traffic against its algorithm's
+	// dist.Contract and records violations in the results.
+	CheckBounds bool
+}
+
+// Result is one cell's outcome — one JSONL row.
+type Result struct {
+	Scenario string `json:"scenario"`
+	// Params is the cell's complete parameter set in canonical (sorted)
+	// spec syntax; Scenario + ":" + Params re-parses to this cell.
+	Params string `json:"params"`
+	Algo   string `json:"algo"`
+	// Rep is the repetition index, Seed the derived instance seed actually
+	// passed to gen (shared by every algorithm on this cell's instance).
+	Rep  int   `json:"rep"`
+	Seed int64 `json:"seed"`
+	// Skip is the reason the cell did not run (e.g. an algorithm needing
+	// labels on an unlabelled family); all other fields are zero.
+	Skip string `json:"skip,omitempty"`
+
+	N         int `json:"n"`
+	Edges     int `json:"edges"`
+	MaxDegree int `json:"max_degree"`
+	K         int `json:"k"`
+
+	Rounds   int `json:"rounds"`
+	Messages int `json:"messages"`
+	Bytes    int `json:"bytes"`
+	// Matched is the matching size in edges.
+	Matched int `json:"matched"`
+	// PerRound is the histogram of [messages, bytes] per round, in round
+	// order — the raw data the bounds checker evaluated.
+	PerRound [][2]int `json:"per_round,omitempty"`
+	// Violations are the contract breaches found by Check; only populated
+	// when Config.CheckBounds is set, and empty on a conforming run.
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// ID names the cell, for error messages and logs.
+func (r *Result) ID() string {
+	return fmt.Sprintf("%s:%s/%s/rep%d", r.Scenario, r.Params, r.Algo, r.Rep)
+}
+
+// cell is one unit of work in the expanded grid.
+type cell struct {
+	sc     gen.Scenario
+	params gen.Params
+	algo   Algo
+	rep    int
+}
+
+// Expand resolves a Config into its cell list without running anything:
+// grids expand through gen.ParseGrid, and the cells are ordered grid by
+// grid, parameter cross product in DSL order, algorithm by algorithm,
+// repetition by repetition — the exact order Run reports results in.
+func Expand(cfg Config) (int, error) {
+	cells, err := expand(cfg)
+	return len(cells), err
+}
+
+func expand(cfg Config) ([]cell, error) {
+	algoNames := cfg.Algos
+	if len(algoNames) == 0 {
+		algoNames = []string{"greedy"}
+	}
+	algos := make([]Algo, len(algoNames))
+	for i, name := range algoNames {
+		a, ok := AlgoByName(name)
+		if !ok {
+			return nil, fmt.Errorf("sweep: unknown algorithm %q (valid: %v)", name, AlgoNames())
+		}
+		algos[i] = a
+	}
+	reps := cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	var cells []cell
+	for _, spec := range cfg.Grids {
+		sc, grid, err := gen.ParseGrid(spec)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		for _, params := range grid {
+			for _, a := range algos {
+				for rep := 0; rep < reps; rep++ {
+					cells = append(cells, cell{sc: sc, params: params, algo: a, rep: rep})
+				}
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("sweep: empty sweep (no grids)")
+	}
+	return cells, nil
+}
+
+// Run executes the sweep and returns one Result per cell, in cell order.
+// Instance build or execution failures abort the sweep with an error naming
+// the cell; contract violations do NOT — they are data, recorded in the
+// results for the caller to inspect (Report.Violations collects them).
+func Run(cfg Config) (*Report, error) {
+	cells, err := expand(cfg)
+	if err != nil {
+		return nil, err
+	}
+	results, err := Parallel(cells, cfg.CellWorkers, func(c cell) (Result, error) {
+		return runCell(cfg, c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Results: results}, nil
+}
+
+// runCell builds and executes one cell.
+func runCell(cfg Config, c cell) (Result, error) {
+	res := Result{
+		Scenario: c.sc.Name,
+		Params:   c.params.String(),
+		Algo:     c.algo.Name,
+		Rep:      c.rep,
+		// The seed depends on the cell's values, not its position: every
+		// algorithm sees the same instance for a given (family, params,
+		// rep), and reordering or extending the grid never reshuffles
+		// instances.
+		Seed: gen.SubSeed(cfg.Seed, c.sc.Name, c.params.String(), strconv.Itoa(c.rep)),
+	}
+	inst, err := c.sc.Build(res.Seed, c.params)
+	if err != nil {
+		return res, fmt.Errorf("sweep: %s: %w", res.ID(), err)
+	}
+	g := inst.G
+	if c.algo.NeedsLabels && inst.Labels == nil {
+		res.Skip = "needs a labelled instance"
+		return res, nil
+	}
+	res.N, res.Edges, res.MaxDegree, res.K = g.N(), g.NumEdges(), g.MaxDegree(), g.K()
+
+	src := c.algo.Source(g)
+	maxRounds := c.algo.MaxRounds(g)
+	var outs []mm.Output
+	var st *runtime.Stats
+	if cfg.EngineWorkers > 1 {
+		outs, st, err = runtime.RunWorkersN(g, inst.Labels, src, maxRounds, cfg.EngineWorkers)
+	} else {
+		outs, st, err = runtime.RunSequentialLabeled(g, inst.Labels, src, maxRounds)
+	}
+	if err != nil {
+		return res, fmt.Errorf("sweep: %s: %w", res.ID(), err)
+	}
+	if err := graph.CheckMatching(g, outs); err != nil {
+		return res, fmt.Errorf("sweep: %s: invalid output: %w", res.ID(), err)
+	}
+
+	res.Rounds = st.Rounds
+	res.Messages = st.Messages
+	for _, o := range outs {
+		if o.IsMatched() {
+			res.Matched++
+		}
+	}
+	res.Matched /= 2 // two endpoints per matched edge
+	res.PerRound = make([][2]int, len(st.PerRound))
+	for i, t := range st.PerRound {
+		res.PerRound[i] = [2]int{t.Messages, t.Bytes}
+		res.Bytes += t.Bytes
+	}
+	if cfg.CheckBounds {
+		res.Violations = Check(c.algo.Contract(g), len(g.Halves()), st)
+	}
+	return res, nil
+}
+
+// DefaultGrids is the smoke grid covering every registered scenario family
+// at a small size: families with an n parameter get n=128 (64 per side for
+// double-cover), the k-sized families (caterpillar, worstcase) run at their
+// defaults. E16 and the CI sweep drive it; it is also what cmd/mmsweep
+// -grid all expands to.
+func DefaultGrids() []string {
+	var specs []string
+	for _, s := range gen.All() {
+		spec := s.Name
+		if _, ok := s.Params["n"]; ok {
+			n := 128
+			if s.Name == "double-cover" {
+				n = 64
+			}
+			spec += ":n=" + strconv.Itoa(n)
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}
