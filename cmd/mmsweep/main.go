@@ -1,4 +1,4 @@
-// Command mmsweep runs algorithms across whole scenario grids and emits
+// Command mmsweep runs algorithms across whole scenario grids and streams
 // machine-readable results with optionally machine-checked communication
 // bounds.
 //
@@ -7,19 +7,39 @@
 //
 //	mmsweep -grid 'matching-union:n=4096..65536,k=16..1024' -algo reduced -check-bounds -out sweep.jsonl
 //	mmsweep -grid all -algo greedy,reduced -seeds 3 -check-bounds
-//	mmsweep -grid 'double-cover:n=256..1024' -algo bipartite -out -
+//	mmsweep -grid 'regular:n=65536..1048576' -build-workers 8 -out big.jsonl
+//	mmsweep -grid 'regular:n=65536..1048576' -build-workers 8 -out big.jsonl -resume
 //	mmsweep -grid list
 //
 // Each cell — one (family, parameters, algorithm, repetition) — derives a
 // deterministic seed from -seed, runs on the slab engine, and becomes one
 // JSON line: instance shape, rounds, messages, matching size, the
 // per-round traffic histogram, and (with -check-bounds) any violations of
-// the paper's communication contracts. An aggregate per-(family,
-// algorithm) table goes to stdout (stderr when the JSONL itself goes to
-// stdout). With -check-bounds, any violation makes the exit status 1.
+// the paper's communication contracts.
+//
+// The run is a streaming pipeline, not a batch: rows are written and
+// flushed in deterministic cell order AS CELLS FINISH, so memory stays
+// bounded by the reorder window however many cells the grid expands to,
+// and a run that dies mid-sweep (crash, OOM-kill, ctrl-C) leaves every
+// completed row on disk. -resume picks such a run back up: the existing
+// -out file is scanned, complete rows are kept (a torn final line is
+// truncated away), the finished cells are skipped, and the missing rows
+// are appended — the final file is byte-identical to an uninterrupted run.
+//
+// -build-workers ≥ 1 constructs instances through the sharded parallel
+// builder (per-colour-class rng streams; byte-identical for any worker
+// count, but a different instance naming than the sequential builder —
+// rows carry a "builder" tag and -resume refuses to mix the two).
+//
+// An aggregate per-(family, algorithm) table goes to stdout (stderr when
+// the JSONL itself goes to stdout). With -check-bounds, any violation
+// makes the exit status 1; a mid-sweep failure exits 1 with the partial
+// output intact.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -37,15 +57,22 @@ func (g *gridFlag) String() string     { return strings.Join(*g, "; ") }
 func (g *gridFlag) Set(v string) error { *g = append(*g, v); return nil }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var grids gridFlag
 	flag.Var(&grids, "grid", "grid spec name[:param=values,…] with ranges (repeatable); \"all\" sweeps every family, \"list\" prints the registry")
 	algos := flag.String("algo", "greedy", "comma-separated algorithms: greedy, reduced, proposal, bipartite, or \"all\"")
 	seeds := flag.Int("seeds", 1, "seeded repetitions per cell")
 	seed := flag.Int64("seed", 1, "base seed (per-cell seeds derive from it deterministically)")
 	checkBounds := flag.Bool("check-bounds", false, "verify the paper's communication contracts per cell; violations fail the run")
-	out := flag.String("out", "-", "JSONL output path (\"-\" = stdout)")
+	out := flag.String("out", "-", "JSONL output path (\"-\" = stdout); rows stream and flush as cells finish")
+	resume := flag.Bool("resume", false, "continue an interrupted sweep: keep -out's complete rows, skip their cells, append the rest (requires -out file)")
 	cellWorkers := flag.Int("cell-workers", 0, "concurrent cells (0 = GOMAXPROCS)")
 	engineWorkers := flag.Int("engine-workers", 0, "workers per execution (≤1 = sequential slab engine)")
+	buildWorkers := flag.Int("build-workers", 0, "workers per instance construction (≥1 = sharded parallel builder; 0 = sequential)")
+	window := flag.Int("reorder-window", 0, "max rows buffered for in-order emission (0 = 2×cell-workers)")
 	flag.Parse()
 
 	cfg := sweep.Config{
@@ -53,6 +80,8 @@ func main() {
 		Seed:          *seed,
 		CellWorkers:   *cellWorkers,
 		EngineWorkers: *engineWorkers,
+		BuildWorkers:  *buildWorkers,
+		ReorderWindow: *window,
 		CheckBounds:   *checkBounds,
 	}
 	for _, spec := range grids {
@@ -61,7 +90,7 @@ func main() {
 			for _, s := range gen.All() {
 				fmt.Printf("%-16s %s\n  defaults: %s\n", s.Name, s.Doc, s.Params)
 			}
-			return
+			return 0
 		case "all":
 			cfg.Grids = append(cfg.Grids, sweep.DefaultGrids()...)
 		default:
@@ -70,7 +99,7 @@ func main() {
 	}
 	if len(cfg.Grids) == 0 {
 		fmt.Fprintln(os.Stderr, "mmsweep: no -grid given (try -grid all or -grid list)")
-		os.Exit(2)
+		return 2
 	}
 	if *algos == "all" {
 		cfg.Algos = sweep.AlgoNames()
@@ -81,44 +110,116 @@ func main() {
 	cells, err := sweep.Expand(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-		os.Exit(2)
-	}
-	fmt.Fprintf(os.Stderr, "mmsweep: %d cells\n", cells)
-
-	rep, err := sweep.Run(cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-		os.Exit(1)
+		return 2
 	}
 
+	// Destination: stdout, or a file created/truncated UP FRONT so even a
+	// zero-row failure leaves a well-defined (empty) artefact. With
+	// -resume, the existing file's complete rows survive and the file is
+	// truncated only past its last complete row.
 	jsonlW := io.Writer(os.Stdout)
 	tableW := io.Writer(os.Stderr) // keep the table off the JSONL stream
-	if *out != "-" {
-		f, err := os.Create(*out)
+	var flushClose func() error
+	if *out == "-" {
+		if *resume {
+			fmt.Fprintln(os.Stderr, "mmsweep: -resume needs -out pointing at a file")
+			return 2
+		}
+	} else {
+		f, err := openOut(*out, *resume, &cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-			os.Exit(1)
+			return 2
 		}
-		defer f.Close()
-		jsonlW, tableW = f, os.Stdout
+		bw := bufio.NewWriter(f) // JSONLSink flushes it after every row
+		jsonlW, tableW = bw, os.Stdout
+		flushClose = func() error {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
 	}
-	if err := rep.WriteJSONL(jsonlW); err != nil {
-		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-		os.Exit(1)
+	if n := len(cfg.Completed); n > 0 {
+		fmt.Fprintf(os.Stderr, "mmsweep: %d cells (%d already complete, resuming)\n", cells, n)
+	} else {
+		fmt.Fprintf(os.Stderr, "mmsweep: %d cells\n", cells)
 	}
-	if err := rep.RenderTable(tableW); err != nil {
+
+	var agg sweep.AggregateSink
+	var vio sweep.ViolationsSink
+	stats, err := sweep.Stream(context.Background(), cfg, sweep.MultiSink(sweep.NewJSONLSink(jsonlW), &agg, &vio))
+	if flushClose != nil {
+		if cerr := flushClose(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		// Fail-fast: every row before the failing cell is already on disk
+		// and flushed — rerun with -resume to continue from it.
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "mmsweep: %d rows written before the failure; -resume continues from them\n", stats.Emitted)
+		return 1
+	}
+
+	if err := agg.RenderTable(tableW); err != nil {
+		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+		return 1
+	}
+	if stats.SkippedResume > 0 {
+		fmt.Fprintf(tableW, "resumed: table covers the %d newly-run cells; %d rows were already complete\n",
+			stats.Emitted, stats.SkippedResume)
 	}
 
 	if *checkBounds {
-		if vs := rep.Violations(); len(vs) > 0 {
-			fmt.Fprintf(os.Stderr, "mmsweep: %d communication-bound violations:\n", len(vs))
-			for _, v := range vs {
+		if len(vio.Lines) > 0 {
+			fmt.Fprintf(os.Stderr, "mmsweep: %d communication-bound violations:\n", len(vio.Lines))
+			for _, v := range vio.Lines {
 				fmt.Fprintf(os.Stderr, "  %s\n", v)
 			}
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintln(tableW, "bounds: all communication contracts hold")
 	}
+	return 0
+}
+
+// openOut prepares the JSONL output file. Fresh runs create or truncate;
+// resume runs scan the existing file, record its completed cells in cfg,
+// cut a torn final line, and position for append.
+func openOut(path string, resume bool, cfg *sweep.Config) (*os.File, error) {
+	if !resume {
+		return os.Create(path)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	state, err := sweep.ReadCompleted(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	wantBuilder := ""
+	if cfg.BuildWorkers >= 1 {
+		wantBuilder = "sharded"
+	}
+	if state.Rows > 0 && state.Builder != wantBuilder {
+		f.Close()
+		return nil, fmt.Errorf("resume: %s was written with builder %q but this run uses %q (-build-workers); the instances would not match",
+			path, state.Builder, wantBuilder)
+	}
+	if err := f.Truncate(state.ValidSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(state.ValidSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	cfg.Completed = state.Completed
+	// Seeds travel along so Stream refuses a -seed mismatch: the old rows
+	// and the new ones must describe the same instance universe.
+	cfg.CompletedSeeds = state.Seeds
+	return f, nil
 }

@@ -57,20 +57,48 @@ func ReducedContract(k, delta int) Contract {
 	}
 }
 
-// ProposalContract is the palette-oblivious baseline's budget on instances
-// of maximum degree ≤ delta: a free node sends one control word on every
-// live edge (a proposal on the least, beacons on the rest). The paper gives
-// no round bound better than Θ(n) — adversarial chains realise it — so
-// MaxRounds stays unchecked.
-func ProposalContract(delta int) Contract {
+// ProposalContract is the palette-oblivious baseline's budget on n-node
+// instances of maximum degree ≤ delta: a free node sends one control word
+// on every live edge (a proposal on the least, beacons on the rest), and
+// the whole run finishes within n rounds. The round bound is proven, not
+// eyeballed:
+//
+//   - Accurate-view rounds match. Call a node's live view in round r
+//     accurate when every position it still marks live joins it to a peer
+//     that has not halted (stale positions exist only for peers that
+//     halted in round r−1 — their silence is first observed, and the
+//     position pruned, during round r's receive). If no node halted in
+//     round r−1, every view in round r is accurate; then the globally
+//     minimum-coloured edge joining two free nodes is locally minimal at
+//     BOTH endpoints (any locally smaller live position would be a
+//     smaller live edge), both propose on it, and it matches — at least
+//     two nodes halt in round r. Round 1 is always accurate: only
+//     isolated nodes halt at time 0 and nobody shares an edge with them.
+//   - Charging rounds to halts. Let a count rounds with a match (each
+//     halts ≥ 2 nodes), b matchless rounds with at least one
+//     silence-driven halt, and e rounds with no halt at all. By the
+//     previous point every no-halt round is immediately followed by a
+//     match round, so e ≤ a; and the halts are disjoint over the ≤ n
+//     participating nodes, so 2a + b ≤ n. The run length is therefore
+//     R = a + b + e ≤ 2a + b ≤ n.
+//
+// The §1.2 two-path instance realises Θ(n) (matches peel off one per
+// round along the descending-colour chain — dist tests pin a run past
+// n/4), so the linear constant is tight up to the factor the staleness
+// argument costs. sweep.Check enforces the bound on every recorded run.
+func ProposalContract(n, delta int) Contract {
 	if delta < 1 {
 		delta = 1
+	}
+	if n < 0 {
+		n = 0
 	}
 	return Contract{
 		Algo:             "proposal",
 		MsgsPerNodeRound: delta,
 		MsgsPerEdgeRound: 1,
 		MaxMessageBytes:  1,
+		MaxRounds:        n,
 	}
 }
 

@@ -1,6 +1,11 @@
 package dist
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/runtime"
+)
 
 func TestGreedyContract(t *testing.T) {
 	c := GreedyContract(6)
@@ -35,8 +40,14 @@ func TestReducedContractMatchesTotalRounds(t *testing.T) {
 }
 
 func TestProposalAndBipartiteContracts(t *testing.T) {
-	if c := ProposalContract(3); c.MaxRounds != 0 {
-		t.Errorf("proposal has no round bound to check, got %d", c.MaxRounds)
+	// The proven proposal round bound is exactly n (see ProposalContract's
+	// derivation): a + b + e ≤ 2a + b ≤ n. Pin the constant so a future
+	// "tightening" has to re-derive it.
+	if c := ProposalContract(10, 3); c.MaxRounds != 10 {
+		t.Errorf("proposal MaxRounds = %d, want n = 10", c.MaxRounds)
+	}
+	if c := ProposalContract(-1, 3); c.MaxRounds != 0 {
+		t.Errorf("negative n must clamp to an uncheckable 0, got %d", c.MaxRounds)
 	}
 	if c := BipartiteContract(4); c.MaxRounds != 11 {
 		t.Errorf("bipartite MaxRounds = %d, want 2Δ+3 = 11", c.MaxRounds)
@@ -45,5 +56,28 @@ func TestProposalAndBipartiteContracts(t *testing.T) {
 	// that would read as "unbounded".
 	if c := BipartiteContract(0); c.MsgsPerNodeRound != 1 || c.MaxRounds != 5 {
 		t.Errorf("Δ=0 clamp wrong: %+v", c)
+	}
+}
+
+// TestProposalRoundBoundTightOnChains runs the proposal machine on the
+// §1.2 two-path lower-bound instance: matches peel off the descending-
+// colour chain nearly one per round, so the run must land within the
+// proven n-round budget while exceeding n/4 — the bound is both sound and
+// tight up to a small constant.
+func TestProposalRoundBoundTightOnChains(t *testing.T) {
+	wc, err := graph.NewWorstCase(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := wc.G.N()
+	_, st, err := runtime.RunSequential(wc.G, NewProposalMachine, n+8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds > ProposalContract(n, wc.G.MaxDegree()).MaxRounds {
+		t.Fatalf("chain run took %d rounds, proven bound is %d", st.Rounds, n)
+	}
+	if st.Rounds < n/4 {
+		t.Fatalf("chain run took only %d rounds on n=%d; the adversarial instance no longer stresses the bound", st.Rounds, n)
 	}
 }

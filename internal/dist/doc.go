@@ -15,7 +15,9 @@
 //   - ProposalMachine — the palette-oblivious baseline contrasted in §1.3
 //     (in the spirit of Hoepman's proposal machines): free nodes repeatedly
 //     propose along their lowest-coloured live edge and match on mutual
-//     proposals. Palette-independent on random instances, Θ(n) on chains.
+//     proposals. Palette-independent on random instances, Θ(n) on chains,
+//     and provably within n rounds on anything (ProposalContract derives
+//     the constant; the sweep checker enforces it).
 //   - BipartiteMachine — the §1.1 related-work algorithm [6] for 2-coloured
 //     graphs: with the bipartition as input (SideWhite/SideBlack labels),
 //     whites propose edge by edge and blacks accept, producing a maximal

@@ -45,6 +45,21 @@
 // value-addressed rng stream. internal/sweep and cmd/mmsweep build on
 // both.
 //
+// # Parallel construction
+//
+// BuildParallel shards instance construction across workers for the
+// families whose structure allows it (Sharded reports which):
+// matching-union and regular generate each colour class concurrently from
+// its own ClassSeeds stream (SubSeed(seed, name, "class", c)), merge the
+// classes in colour order, and run the CSR degree-count/fill in parallel
+// over node ranges (graph.ShardedMatchingUnion / graph.ShardedRegular /
+// CSRBuilder.BuildParallel). The result is byte-identical for ANY worker
+// count — one worker and sixteen build the same instance, pinned against
+// a plain sequential CSRBuilder loop — but is a different instance than
+// the sequential Build names for the same seed, whose single rng stream
+// threads through all classes and therefore cannot be sharded. Other
+// families fall back to Build.
+//
 // # Families
 //
 //   - matching-union — union of k partial random matchings (§1.2 random

@@ -20,6 +20,13 @@ func matchingUnion() Scenario {
 			}
 			return &Instance{G: graph.RandomMatchingUnion(n, k, p.Float("density"), rng)}, nil
 		},
+		genSharded: func(p Params, seeds []int64, workers int) (*Instance, error) {
+			g, err := graph.ShardedMatchingUnion(p.Int("n"), p.Int("k"), p.Float("density"), seeds, workers)
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{G: g}, nil
+		},
 	}
 }
 
@@ -54,6 +61,17 @@ func regular() Scenario {
 				return nil, fmt.Errorf("need even n ≥ 2 and k ≥ 1, got n=%d k=%d", n, k)
 			}
 			g, err := graph.RandomRegular(n, k, rng)
+			if err != nil {
+				return nil, err
+			}
+			return &Instance{G: g}, nil
+		},
+		genSharded: func(p Params, seeds []int64, workers int) (*Instance, error) {
+			n, k := p.Int("n"), p.Int("k")
+			if n%2 != 0 {
+				return nil, fmt.Errorf("need even n ≥ 2 and k ≥ 1, got n=%d k=%d", n, k)
+			}
+			g, err := graph.ShardedRegular(n, k, seeds, workers)
 			if err != nil {
 				return nil, err
 			}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 
@@ -13,9 +14,12 @@ import (
 // checked per cell — greedy at most one message per live node per round
 // within k−1 rounds (Lemma 1), the reduction phases at most one colour
 // list (≤ Δ entries) per directed edge per round within dist.TotalRounds,
-// bipartite within 2Δ+3 rounds. A single violation anywhere fails the
-// experiment; the JSONL emission is additionally pinned byte-identical
-// across two runs, so the sweep artefact itself is reproducible.
+// the proposal baseline within the proven n rounds, bipartite within
+// 2Δ+3. A single violation anywhere fails the experiment. The emission
+// path is then exercised three ways and pinned byte-identical: a buffered
+// Run, a streaming Stream through the JSONL sink, and an interrupted
+// stream (context cancelled mid-sweep) resumed from its own partial
+// output — proving the streamed artefact is reproducible AND killable.
 func e16() Experiment {
 	return Experiment{
 		ID:    "E16",
@@ -39,25 +43,67 @@ func e16() Experiment {
 				}
 				return fmt.Errorf("%d communication-bound violations", len(vs))
 			}
-			var first, second bytes.Buffer
-			if err := rep.WriteJSONL(&first); err != nil {
+			var buffered bytes.Buffer
+			if err := rep.WriteJSONL(&buffered); err != nil {
 				return err
 			}
-			again, err := sweep.Run(cfg)
+
+			// Streaming must reproduce the buffered bytes exactly.
+			var streamed bytes.Buffer
+			stats, err := sweep.Stream(context.Background(), cfg, sweep.NewJSONLSink(&streamed))
 			if err != nil {
 				return err
 			}
-			if err := again.WriteJSONL(&second); err != nil {
+			if !bytes.Equal(buffered.Bytes(), streamed.Bytes()) {
+				return fmt.Errorf("streamed JSONL differs from the buffered run")
+			}
+
+			// Kill the stream a third of the way in, then resume from the
+			// partial output: the final artefact must be byte-identical.
+			// Workers and window are pinned small so the cancellation is
+			// guaranteed to land mid-sweep — with host-sized defaults a
+			// many-core machine could claim every cell before the cancel
+			// fires and the "kill" would kill nothing.
+			killed := cfg
+			killed.CellWorkers = 2
+			killed.ReorderWindow = 2
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var partial bytes.Buffer
+			rows := 0
+			jsonl := sweep.NewJSONLSink(&partial)
+			killAt := stats.Emitted / 3
+			_, err = sweep.Stream(ctx, killed, sweep.SinkFunc(func(r *sweep.Result) error {
+				if err := jsonl.Emit(r); err != nil {
+					return err
+				}
+				if rows++; rows == killAt {
+					cancel()
+				}
+				return nil
+			}))
+			if err == nil {
+				return fmt.Errorf("cancelled stream reported success")
+			}
+			state, err := sweep.ReadCompleted(bytes.NewReader(partial.Bytes()))
+			if err != nil {
 				return err
 			}
-			if !bytes.Equal(first.Bytes(), second.Bytes()) {
-				return fmt.Errorf("two identical sweeps emitted different JSONL")
+			resumed := cfg
+			resumed.Completed = state.Completed
+			rstats, err := sweep.Stream(context.Background(), resumed, sweep.NewJSONLSink(&partial))
+			if err != nil {
+				return err
 			}
+			if !bytes.Equal(partial.Bytes(), buffered.Bytes()) {
+				return fmt.Errorf("resumed JSONL differs from the uninterrupted run")
+			}
+
 			if err := rep.RenderTable(w); err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%d cells over %d families: all contracts hold, JSONL reproducible byte for byte.\n",
-				len(rep.Results), len(cfg.Grids))
+			fmt.Fprintf(w, "%d cells over %d families: all contracts hold; JSONL reproducible byte for byte across buffered, streamed, and killed-then-resumed runs (%d rows resumed after %d survived the kill).\n",
+				len(rep.Results), len(cfg.Grids), rstats.Emitted, state.Rows)
 			return nil
 		},
 	}

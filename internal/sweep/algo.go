@@ -56,7 +56,7 @@ func Algos() []Algo {
 			Name:      "proposal",
 			Source:    func(*graph.Graph) runtime.Source { return dist.NewProposalMachine },
 			MaxRounds: runtime.DefaultMaxRounds,
-			Contract:  func(g *graph.Graph) dist.Contract { return dist.ProposalContract(g.MaxDegree()) },
+			Contract:  func(g *graph.Graph) dist.Contract { return dist.ProposalContract(g.N(), g.MaxDegree()) },
 		},
 		{
 			Name:        "bipartite",

@@ -1,7 +1,8 @@
 // Package sweep is the scenario-grid driver: it runs any registered
 // algorithm across a full scenario grid (family × parameters × repetition),
-// fans the cells out over a worker pool, and holds every execution's
-// recorded per-round traffic histogram against the paper's communication
+// streams the cells' results through composable sinks in deterministic
+// order with bounded memory, and holds every execution's recorded
+// per-round traffic histogram against the paper's communication
 // contracts — machine-verified bounds instead of eyeballed -stats output.
 //
 // # Grids and cells
@@ -15,30 +16,57 @@
 // seed as gen.SubSeed(base, family, params, rep) — a value-dependent
 // derivation, so re-running the same Config rebuilds byte-identical
 // instances, all algorithms of a cell see the same instance, and result
-// rows are independent of execution order. Cells run concurrently via
-// Parallel (the fan-out shared with harness.ParallelSweep); each execution
-// uses the sequential slab engine by default, or runtime.RunWorkersN when
-// Config.EngineWorkers asks for intra-cell parallelism (the statistics are
-// engine- and worker-count-independent, so the output bytes never change).
+// rows are independent of execution order. Config.BuildWorkers ≥ 1 builds
+// instances through gen.BuildParallel instead: the sharded families
+// generate colour classes concurrently on per-class gen.ClassSeeds
+// streams, worker-count independent but a distinct instance naming, so
+// rows carry a "builder" tag and the two modes never mix in one file.
+//
+// # The streaming pipeline
+//
+// Stream is the execution core (Run is Stream with a collecting sink).
+// Cells fan out over Config.CellWorkers goroutines; completed Results pass
+// through a small reorder window keyed by cell index that restores grid
+// order — a worker may not start cell i until the emission frontier is
+// within Config.ReorderWindow of it, so the driver never buffers more than
+// a window of rows NO MATTER how many cells the grid expands to, and each
+// row's per-round histogram buffer returns to a pool the moment its sink
+// call returns. That is the bounded-memory guarantee: driver-side memory
+// is window × row size, independent of cell count and instance size
+// (tests pin PeakBuffered ≤ window with a regular:n=1048576 cell in the
+// grid). Sinks compose via MultiSink: JSONLSink writes and flushes one
+// line per row, AggregateSink folds per-(family, algorithm) totals,
+// ViolationsSink collects contract breaches; all see rows strictly in cell
+// order with no locking needed.
+//
+// On a cell failure or cancelled context the stream aborts fail-fast:
+// because emission is in-order, whatever was written is a clean prefix of
+// the deterministic output. ReadCompleted rebuilds the completed-cell set
+// from such a prefix (cutting a torn final line at ResumeState.ValidSize),
+// and a re-run with Config.Completed set skips those cells and appends
+// exactly the missing rows — the resumed file is byte-identical to an
+// uninterrupted run, pinned by test and exercised as a real
+// SIGKILL/resume/cmp cycle in CI.
 //
 // # Machine-checked bounds
 //
 // Check evaluates a dist.Contract — the per-machine constants for message,
 // byte and round budgets — against a runtime.Stats: greedy sends at most
-// one message per live node per round, the reduction phases at most one
-// colour list per directed edge per round, colour lists carry at most Δ
-// entries, and the total round count respects Lemma 1's k−1 (greedy),
-// dist.TotalRounds (reduced) or 2Δ+3 (bipartite). Violations come back as
-// structured values naming the rule, the round and the numbers, and ride
-// along in the Result rows rather than being printed.
+// one message per live node per round within Lemma 1's k−1 rounds, the
+// reduction phases at most one colour list (≤ Δ entries) per directed edge
+// per round within dist.TotalRounds, the proposal baseline finishes within
+// the proven n rounds (see ProposalContract's derivation), bipartite
+// within 2Δ+3. Violations come back as structured values naming the rule,
+// the round and the numbers, and ride along in the Result rows rather than
+// being printed.
 //
 // # Results
 //
-// Run returns a Report: one Result per cell with the instance shape, round
-// count, matching size, the full per-round histogram and any violations.
-// Report.WriteJSONL emits one JSON object per line — byte-identical for
-// identical Configs, which the golden test pins — and Report.Aggregate
-// folds the rows into a per-(family, algorithm) table for humans.
-// cmd/mmsweep is the CLI; harness experiment E16 runs a smoke grid over
-// all nine families and fails on any violation.
+// A Result row records the instance shape, round count, matching size, the
+// full per-round histogram and any violations, and marshals to one JSON
+// line — byte-identical for identical Configs regardless of cell, engine
+// or build parallelism (the golden test pins the bytes). cmd/mmsweep is
+// the CLI (streaming -out, -resume, -build-workers); harness experiment
+// E16 sweeps all nine families with bounds checked and pins buffered,
+// streamed, and killed-then-resumed output byte-identical.
 package sweep

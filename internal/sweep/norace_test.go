@@ -1,0 +1,9 @@
+//go:build !race
+
+package sweep
+
+// raceEnabled reports whether the race detector is compiled in; the
+// million-node streaming test skips under it (the instrumented build is an
+// order of magnitude slower and the test's point — bounded driver memory —
+// is detector-independent).
+const raceEnabled = false

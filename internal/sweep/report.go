@@ -53,45 +53,46 @@ type AggRow struct {
 	Violations int // total contract breaches across the cells
 }
 
+// add folds one result into the row (the shared accumulation behind both
+// the buffered Report.Aggregate and the streaming AggregateSink).
+func (row *AggRow) add(res *Result) {
+	if res.Skip != "" {
+		row.Skipped++
+		return
+	}
+	row.Cells++
+	if res.Rounds > row.MaxRounds {
+		row.MaxRounds = res.Rounds
+	}
+	row.Messages += res.Messages
+	row.Bytes += res.Bytes
+	row.Matched += res.Matched
+	row.Violations += len(res.Violations)
+}
+
 // Aggregate folds the results into one row per (scenario, algorithm), in
 // first-appearance order.
 func (r *Report) Aggregate() []AggRow {
-	index := map[[2]string]int{}
-	var rows []AggRow
+	var agg AggregateSink
 	for i := range r.Results {
-		res := &r.Results[i]
-		key := [2]string{res.Scenario, res.Algo}
-		j, ok := index[key]
-		if !ok {
-			j = len(rows)
-			index[key] = j
-			rows = append(rows, AggRow{Scenario: res.Scenario, Algo: res.Algo})
-		}
-		row := &rows[j]
-		if res.Skip != "" {
-			row.Skipped++
-			continue
-		}
-		row.Cells++
-		if res.Rounds > row.MaxRounds {
-			row.MaxRounds = res.Rounds
-		}
-		row.Messages += res.Messages
-		row.Bytes += res.Bytes
-		row.Matched += res.Matched
-		row.Violations += len(res.Violations)
+		_ = agg.Emit(&r.Results[i])
 	}
-	return rows
+	return agg.Rows()
 }
 
-// RenderTable writes the aggregate as an aligned text table.
-func (r *Report) RenderTable(w io.Writer) error {
+// renderAggTable writes aggregate rows as an aligned text table.
+func renderAggTable(w io.Writer, rows []AggRow) error {
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(tw, "scenario\talgo\tcells\tskipped\tmax rounds\tmessages\tbytes\tmatched\tviolations")
-	for _, row := range r.Aggregate() {
+	for _, row := range rows {
 		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
 			row.Scenario, row.Algo, row.Cells, row.Skipped, row.MaxRounds,
 			row.Messages, row.Bytes, row.Matched, row.Violations)
 	}
 	return tw.Flush()
+}
+
+// RenderTable writes the aggregate as an aligned text table.
+func (r *Report) RenderTable(w io.Writer) error {
+	return renderAggTable(w, r.Aggregate())
 }

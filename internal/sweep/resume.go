@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// maxRowBytes bounds one JSONL row during resume scanning. Rows carry
+// per-round histograms, so they can be long — but a row past this size is
+// corruption, not data (the biggest legitimate rows are a few MB of
+// histogram at extreme round counts).
+const maxRowBytes = 1 << 26
+
+// ResumeState is what ReadCompleted recovers from an existing JSONL sweep
+// output.
+type ResumeState struct {
+	// Completed holds the canonical Scenario:Params/Algo/rep ID of every
+	// complete row; assign it to Config.Completed to skip those cells.
+	Completed map[string]bool
+	// ValidSize is the byte offset just past the last complete row. A
+	// streaming run killed mid-write leaves a torn final line; a resuming
+	// writer must truncate the file to ValidSize before appending so the
+	// resumed output stays byte-identical to an uninterrupted run.
+	ValidSize int64
+	// Builder is the builder tag shared by every row ("" sequential,
+	// "sharded" parallel). Mixing tags in one file is an error, and the
+	// resuming run must use the same builder mode — the two name
+	// different instances for the same seed.
+	Builder string
+	// Seeds maps each completed cell ID to the instance seed its row
+	// recorded; assign it to Config.CompletedSeeds so the resuming run
+	// refuses a base-seed mismatch instead of appending rows from a
+	// different instance universe.
+	Seeds map[string]int64
+	// Rows counts the complete rows.
+	Rows int
+}
+
+// ReadCompleted reconstructs the resume state from an existing JSONL sweep
+// output: every syntactically complete row contributes its canonical cell
+// ID, and a torn final line (the usual debris of a killed run) is excluded
+// from ValidSize rather than treated as corruption. A complete row that is
+// not valid JSON, lacks the identity fields, or disagrees with the other
+// rows' builder tag is an error — the file is not a resumable sweep
+// output.
+func ReadCompleted(r io.Reader) (ResumeState, error) {
+	state := ResumeState{Completed: map[string]bool{}, Seeds: map[string]int64{}}
+	br := bufio.NewReaderSize(r, 1<<16)
+	for {
+		line, err := readRow(br)
+		if err == errRowTooLong {
+			return ResumeState{}, fmt.Errorf("sweep: resume: row at offset %d exceeds %d bytes", state.ValidSize, maxRowBytes)
+		}
+		complete := err == nil // a line without its \n is a torn final write
+		if len(bytes.TrimSpace(line)) > 0 {
+			var row struct {
+				Scenario string `json:"scenario"`
+				Params   string `json:"params"`
+				Algo     string `json:"algo"`
+				Rep      int    `json:"rep"`
+				Seed     int64  `json:"seed"`
+				Builder  string `json:"builder"`
+			}
+			if jsonErr := json.Unmarshal(line, &row); jsonErr != nil {
+				if complete {
+					return ResumeState{}, fmt.Errorf("sweep: resume: invalid JSONL row at offset %d: %w", state.ValidSize, jsonErr)
+				}
+				return state, nil // torn trailing fragment: stop before it
+			}
+			if row.Scenario == "" || row.Params == "" || row.Algo == "" {
+				return ResumeState{}, fmt.Errorf("sweep: resume: row at offset %d is not a sweep result (missing identity fields)", state.ValidSize)
+			}
+			if !complete {
+				// A full JSON object but no terminating newline: the write
+				// was cut between the row and its \n. Re-emit it rather
+				// than risk a joined line.
+				return state, nil
+			}
+			if state.Rows > 0 && row.Builder != state.Builder {
+				return ResumeState{}, fmt.Errorf("sweep: resume: row at offset %d mixes builder %q with %q — one file, one builder",
+					state.ValidSize, row.Builder, state.Builder)
+			}
+			state.Builder = row.Builder
+			id := fmt.Sprintf("%s:%s/%s/rep%d", row.Scenario, row.Params, row.Algo, row.Rep)
+			state.Completed[id] = true
+			state.Seeds[id] = row.Seed
+			state.Rows++
+		}
+		state.ValidSize += int64(len(line))
+		if err == io.EOF {
+			return state, nil
+		}
+		if err != nil {
+			return ResumeState{}, fmt.Errorf("sweep: resume: %w", err)
+		}
+	}
+}
+
+// errRowTooLong marks a row that blew the maxRowBytes cap mid-read.
+var errRowTooLong = fmt.Errorf("row exceeds %d bytes", maxRowBytes)
+
+// readRow reads one newline-terminated row through the bounded buffer,
+// enforcing maxRowBytes DURING the read — a newline-free multi-gigabyte
+// file fails at the cap, it does not get slurped into memory first. The
+// returned error is io.EOF at end of input, errRowTooLong past the cap, or
+// any underlying read error; like bufio.ReadBytes, a non-nil line may
+// accompany io.EOF (the torn final write).
+func readRow(br *bufio.Reader) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if int64(len(line)+len(chunk)) > maxRowBytes {
+			return nil, errRowTooLong
+		}
+		line = append(line, chunk...)
+		switch err {
+		case nil:
+			return line, nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
+			return line, err
+		}
+	}
+}

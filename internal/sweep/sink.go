@@ -1,0 +1,136 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Sink consumes one Result per completed cell. Stream delivers results
+// strictly in cell order, one Emit at a time (sinks need no locking), and
+// recycles the Result's PerRound buffer as soon as Emit returns — a sink
+// that retains anything beyond the call must copy it. Implementations
+// compose: a typical CLI run stacks a JSONL writer, an aggregate
+// accumulator and a violations collector behind one MultiSink, each seeing
+// every row exactly once while the driver itself holds only the reorder
+// window.
+type Sink interface {
+	Emit(r *Result) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(r *Result) error
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(r *Result) error { return f(r) }
+
+// MultiSink fans every result out to each sink in order, stopping at the
+// first error.
+func MultiSink(sinks ...Sink) Sink {
+	return SinkFunc(func(r *Result) error {
+		for _, s := range sinks {
+			if err := s.Emit(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// flusher is the optional per-row flush hook of a JSONL destination
+// (bufio.Writer implements it).
+type flusher interface{ Flush() error }
+
+// JSONLSink streams results as JSON lines: each Emit encodes one row and
+// pushes it all the way out — if the writer has a Flush method (a
+// bufio.Writer over a file) it is flushed after every row, so a killed
+// sweep leaves every completed cell on disk and -resume can pick up from
+// the exact row the process died at. Byte-for-byte, n streamed rows equal
+// Report.WriteJSONL of the same n results.
+type JSONLSink struct {
+	enc *json.Encoder
+	fl  flusher
+}
+
+// NewJSONLSink wraps w in a streaming row writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{enc: json.NewEncoder(w)}
+	if f, ok := w.(flusher); ok {
+		s.fl = f
+	}
+	return s
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(r *Result) error {
+	if err := s.enc.Encode(r); err != nil {
+		return err
+	}
+	if s.fl != nil {
+		return s.fl.Flush()
+	}
+	return nil
+}
+
+// AggregateSink folds rows into per-(scenario, algorithm) aggregates as
+// they stream past, holding one AggRow per pair rather than one Result per
+// cell — the constant-memory replacement for aggregating a buffered
+// Report.
+type AggregateSink struct {
+	index map[[2]string]int
+	rows  []AggRow
+}
+
+// Emit implements Sink.
+func (a *AggregateSink) Emit(r *Result) error {
+	if a.index == nil {
+		a.index = map[[2]string]int{}
+	}
+	key := [2]string{r.Scenario, r.Algo}
+	j, ok := a.index[key]
+	if !ok {
+		j = len(a.rows)
+		a.index[key] = j
+		a.rows = append(a.rows, AggRow{Scenario: r.Scenario, Algo: r.Algo})
+	}
+	a.rows[j].add(r)
+	return nil
+}
+
+// Rows returns the aggregate in first-appearance order.
+func (a *AggregateSink) Rows() []AggRow { return a.rows }
+
+// RenderTable writes the aggregate as an aligned text table.
+func (a *AggregateSink) RenderTable(w io.Writer) error { return renderAggTable(w, a.rows) }
+
+// ViolationsSink collects every contract breach streaming past as one
+// formatted line per violation, prefixed with the cell identity — the
+// streaming counterpart of Report.Violations.
+type ViolationsSink struct {
+	Lines []string
+}
+
+// Emit implements Sink.
+func (s *ViolationsSink) Emit(r *Result) error {
+	for _, v := range r.Violations {
+		s.Lines = append(s.Lines, fmt.Sprintf("%s: %s", r.ID(), v))
+	}
+	return nil
+}
+
+// reportSink collects full Results for the buffered Run entry point. It
+// copies the PerRound histogram because the stream driver recycles the
+// buffer after Emit.
+type reportSink struct {
+	results []Result
+}
+
+// Emit implements Sink.
+func (s *reportSink) Emit(r *Result) error {
+	res := *r
+	if r.PerRound != nil {
+		res.PerRound = append([][2]int(nil), r.PerRound...)
+	}
+	s.results = append(s.results, res)
+	return nil
+}

@@ -1,8 +1,10 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -35,6 +37,29 @@ type Config struct {
 	// CheckBounds holds every execution's traffic against its algorithm's
 	// dist.Contract and records violations in the results.
 	CheckBounds bool
+	// BuildWorkers ≥ 1 builds instances through gen.BuildParallel: the
+	// sharded families (matching-union, regular) generate their colour
+	// classes concurrently on per-class gen.ClassSeeds streams and run the
+	// CSR fill in parallel over node ranges. The instance a cell names is
+	// independent of the worker count (1 and 16 are byte-identical, pinned
+	// by test) but differs from the sequential builder's single-stream
+	// instances, so sweeps must not mix BuildWorkers 0 and ≥ 1 in one
+	// output file. 0 keeps the sequential builder.
+	BuildWorkers int
+	// ReorderWindow bounds how many completed cells Stream may buffer
+	// ahead of the emission frontier (0 = DefaultReorderWindow). It is the
+	// streaming driver's entire per-cell memory ceiling.
+	ReorderWindow int
+	// Completed holds the canonical IDs (Result.ID) of cells an earlier
+	// run already emitted; Stream skips them without building or running
+	// anything. ReadCompleted reconstructs the set from existing JSONL.
+	Completed map[string]bool
+	// CompletedSeeds optionally maps those IDs to the seeds their rows
+	// recorded (ResumeState.Seeds). When set, Stream verifies every
+	// skipped cell would re-derive the same seed under this Config and
+	// refuses to resume across a base-seed mismatch — otherwise the old
+	// prefix and the new suffix would describe different instances.
+	CompletedSeeds map[string]int64
 }
 
 // Result is one cell's outcome — one JSONL row.
@@ -51,6 +76,11 @@ type Result struct {
 	// Skip is the reason the cell did not run (e.g. an algorithm needing
 	// labels on an unlabelled family); all other fields are zero.
 	Skip string `json:"skip,omitempty"`
+	// Builder is "sharded" when the instance came from the parallel
+	// builder (Config.BuildWorkers ≥ 1), empty for the sequential builder.
+	// The two name different instances for the same seed on the sharded
+	// families, so resume refuses to append across a mismatch.
+	Builder string `json:"builder,omitempty"`
 
 	N         int `json:"n"`
 	Edges     int `json:"edges"`
@@ -81,6 +111,12 @@ type cell struct {
 	params gen.Params
 	algo   Algo
 	rep    int
+}
+
+// id is the cell's canonical identity — identical to the Result.ID of its
+// row, which is how resume matches existing JSONL rows back to cells.
+func (c cell) id() string {
+	return fmt.Sprintf("%s:%s/%s/rep%d", c.sc.Name, c.params.String(), c.algo.Name, c.rep)
 }
 
 // Expand resolves a Config into its cell list without running anything:
@@ -129,22 +165,41 @@ func expand(cfg Config) ([]cell, error) {
 	return cells, nil
 }
 
-// Run executes the sweep and returns one Result per cell, in cell order.
+// Run executes the sweep buffered: every Result collected into a Report,
+// in cell order. It is the streaming pipeline with a collecting sink —
+// Stream is the bounded-memory entry point for sweeps bigger than RAM.
 // Instance build or execution failures abort the sweep with an error naming
 // the cell; contract violations do NOT — they are data, recorded in the
 // results for the caller to inspect (Report.Violations collects them).
 func Run(cfg Config) (*Report, error) {
-	cells, err := expand(cfg)
-	if err != nil {
+	var rs reportSink
+	if _, err := Stream(context.Background(), cfg, &rs); err != nil {
 		return nil, err
 	}
-	results, err := Parallel(cells, cfg.CellWorkers, func(c cell) (Result, error) {
-		return runCell(cfg, c)
-	})
-	if err != nil {
-		return nil, err
+	return &Report{Results: rs.results}, nil
+}
+
+// perRoundPool recycles Result.PerRound histogram buffers: runCell draws
+// from it, and the stream driver returns the buffer the moment the sink
+// has consumed the row — so a million-cell sweep reuses a handful of
+// buffers instead of retiring one allocation per cell.
+var perRoundPool = sync.Pool{New: func() any { return [][2]int(nil) }}
+
+// releasePerRound hands a drained row's histogram back to the pool.
+func releasePerRound(r *Result) {
+	if r.PerRound == nil {
+		return
 	}
-	return &Report{Results: results}, nil
+	perRoundPool.Put(r.PerRound[:0]) //nolint:staticcheck // slice header boxing is the cost of pooling slices
+	r.PerRound = nil
+}
+
+// cellSeed derives the cell's instance seed. It depends on the cell's
+// values, not its position: every algorithm sees the same instance for a
+// given (family, params, rep), and reordering or extending the grid never
+// reshuffles instances.
+func cellSeed(cfg Config, c cell) int64 {
+	return gen.SubSeed(cfg.Seed, c.sc.Name, c.params.String(), strconv.Itoa(c.rep))
 }
 
 // runCell builds and executes one cell.
@@ -154,13 +209,16 @@ func runCell(cfg Config, c cell) (Result, error) {
 		Params:   c.params.String(),
 		Algo:     c.algo.Name,
 		Rep:      c.rep,
-		// The seed depends on the cell's values, not its position: every
-		// algorithm sees the same instance for a given (family, params,
-		// rep), and reordering or extending the grid never reshuffles
-		// instances.
-		Seed: gen.SubSeed(cfg.Seed, c.sc.Name, c.params.String(), strconv.Itoa(c.rep)),
+		Seed:     cellSeed(cfg, c),
 	}
-	inst, err := c.sc.Build(res.Seed, c.params)
+	var inst *gen.Instance
+	var err error
+	if cfg.BuildWorkers >= 1 {
+		res.Builder = "sharded"
+		inst, err = c.sc.BuildParallel(res.Seed, c.params, cfg.BuildWorkers)
+	} else {
+		inst, err = c.sc.Build(res.Seed, c.params)
+	}
 	if err != nil {
 		return res, fmt.Errorf("sweep: %s: %w", res.ID(), err)
 	}
@@ -195,11 +253,12 @@ func runCell(cfg Config, c cell) (Result, error) {
 		}
 	}
 	res.Matched /= 2 // two endpoints per matched edge
-	res.PerRound = make([][2]int, len(st.PerRound))
-	for i, t := range st.PerRound {
-		res.PerRound[i] = [2]int{t.Messages, t.Bytes}
+	pr, _ := perRoundPool.Get().([][2]int)
+	for _, t := range st.PerRound {
+		pr = append(pr, [2]int{t.Messages, t.Bytes})
 		res.Bytes += t.Bytes
 	}
+	res.PerRound = pr
 	if cfg.CheckBounds {
 		res.Violations = Check(c.algo.Contract(g), len(g.Halves()), st)
 	}
