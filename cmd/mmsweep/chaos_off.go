@@ -1,0 +1,10 @@
+//go:build !chaos
+
+package main
+
+import "repro/internal/sweep/shard"
+
+// chaosInjector is the production stub: without the chaos build tag there
+// is no -chaos flag and no fault injection — a release binary cannot be
+// asked to SIGKILL itself.
+func chaosInjector(int64) (*shard.FaultInjector, error) { return nil, nil }

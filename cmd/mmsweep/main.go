@@ -31,10 +31,30 @@
 // count, but a different instance naming than the sequential builder —
 // rows carry a "builder" tag and -resume refuses to mix the two).
 //
+// Sharded multi-process sweeps split the grid's canonical cell order into
+// N contiguous ranges:
+//
+//	mmsweep -grid all -algo greedy -supervise 4 -out sweep.jsonl
+//	mmsweep -grid all -algo greedy -shard 2/4 -out sweep.jsonl
+//	mmsweep -grid all -algo greedy -merge 4 -out sweep.jsonl
+//
+// -supervise N fork/execs N workers of this same binary, each streaming
+// its range into <out>.shard<i>of<N>; a lease per shard (renewed by pipe
+// heartbeats and shard-file growth) detects crashed and hung workers,
+// which are killed and restarted with exponential backoff — restarts
+// resume the shard file, so a SIGKILL costs exactly the torn row it
+// interrupted. On success the shards are merged into -out, verified
+// byte-identical to an uninterrupted single-process run. -shard i/N runs
+// one worker by hand; -merge N re-runs just the merge. Chaos builds
+// (-tags chaos) add -chaos kill=P,hang=P for seeded fault injection.
+//
 // An aggregate per-(family, algorithm) table goes to stdout (stderr when
-// the JSONL itself goes to stdout). With -check-bounds, any violation
-// makes the exit status 1; a mid-sweep failure exits 1 with the partial
-// output intact.
+// the JSONL itself goes to stdout). Exit codes are a contract: 0 success,
+// 1 sweep failure or (with -check-bounds) contract violations — the
+// partial output stays intact and -resume continues from it — and 2 for
+// configuration mismatches (wrong -seed or -build-workers against an
+// existing file; the message names the field and file offset), which
+// retrying cannot fix.
 package main
 
 import (
@@ -48,6 +68,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/sweep"
+	"repro/internal/sweep/shard"
 )
 
 // gridFlag collects repeated -grid flags.
@@ -73,6 +94,13 @@ func run() int {
 	engineWorkers := flag.Int("engine-workers", 0, "workers per execution (≤1 = sequential slab engine)")
 	buildWorkers := flag.Int("build-workers", 0, "workers per instance construction (≥1 = sharded parallel builder; 0 = sequential)")
 	window := flag.Int("reorder-window", 0, "max rows buffered for in-order emission (0 = 2×cell-workers)")
+	shardSpec := flag.String("shard", "", "run one worker of an i/N-sharded sweep into <out>.shard<i>of<N> (resumes automatically)")
+	attempt := flag.Int("attempt", 0, "restart count of this shard attempt (set by -supervise; feeds fault-injection derivation)")
+	livenessFD := flag.Int("liveness-fd", -1, "inherited pipe fd to heartbeat one byte per row on (set by -supervise)")
+	supervise := flag.Int("supervise", 0, "fork/exec N supervised shard workers of this binary, restart crashed/hung ones, then merge into -out")
+	mergeN := flag.Int("merge", 0, "merge N existing shard files of this sweep into -out, verifying canonical order")
+	leaseTimeout := flag.Duration("lease-timeout", shard.DefaultLeaseTimeout, "kill a supervised worker making no visible progress for this long")
+	maxAttempts := flag.Int("max-attempts", shard.DefaultMaxAttempts, "abandon a shard after this many worker launches")
 	flag.Parse()
 
 	cfg := sweep.Config{
@@ -113,11 +141,36 @@ func run() int {
 		return 2
 	}
 
+	// Sharded modes: mutually exclusive, and all need a real -out file to
+	// derive shard paths from.
+	modes := 0
+	for _, on := range []bool{*shardSpec != "", *supervise > 0, *mergeN > 0} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "mmsweep: -shard, -supervise and -merge are mutually exclusive")
+		return 2
+	}
+	if modes == 1 && *out == "-" {
+		fmt.Fprintln(os.Stderr, "mmsweep: sharded modes need -out pointing at a file (shard paths derive from it)")
+		return 2
+	}
+	switch {
+	case *shardSpec != "":
+		return runShard(cfg, *out, *shardSpec, *attempt, *livenessFD)
+	case *supervise > 0:
+		return runSupervise(cfg, *out, *supervise, *leaseTimeout, *maxAttempts)
+	case *mergeN > 0:
+		return runMerge(cfg, *out, *mergeN)
+	}
+
 	// Destination: stdout, or a file created/truncated UP FRONT so even a
 	// zero-row failure leaves a well-defined (empty) artefact. With
 	// -resume, the existing file's complete rows survive and the file is
 	// truncated only past its last complete row.
-	jsonlW := io.Writer(os.Stdout)
+	jsonlSink := sweep.NewJSONLSink(os.Stdout)
 	tableW := io.Writer(os.Stderr) // keep the table off the JSONL stream
 	var flushClose func() error
 	if *out == "-" {
@@ -129,12 +182,15 @@ func run() int {
 		f, err := openOut(*out, *resume, &cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-			return 2
+			return classify(err)
 		}
 		bw := bufio.NewWriter(f) // JSONLSink flushes it after every row
-		jsonlW, tableW = bw, os.Stdout
+		jsonlSink = sweep.NewJSONLSink(bw).WithSync(f)
+		tableW = os.Stdout
 		flushClose = func() error {
-			if err := bw.Flush(); err != nil {
+			// Sync, not just flush: the rows must be on stable storage
+			// before we report the sweep complete.
+			if err := jsonlSink.Sync(); err != nil {
 				return err
 			}
 			return f.Close()
@@ -148,7 +204,7 @@ func run() int {
 
 	var agg sweep.AggregateSink
 	var vio sweep.ViolationsSink
-	stats, err := sweep.Stream(context.Background(), cfg, sweep.MultiSink(sweep.NewJSONLSink(jsonlW), &agg, &vio))
+	stats, err := sweep.Stream(context.Background(), cfg, sweep.MultiSink(jsonlSink, &agg, &vio))
 	if flushClose != nil {
 		if cerr := flushClose(); cerr != nil && err == nil {
 			err = cerr
@@ -156,8 +212,13 @@ func run() int {
 	}
 	if err != nil {
 		// Fail-fast: every row before the failing cell is already on disk
-		// and flushed — rerun with -resume to continue from it.
+		// and flushed — rerun with -resume to continue from it. A
+		// configuration mismatch (exit 2, field and offset in the message)
+		// is different: resuming cannot fix it.
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+		if code := classify(err); code == 2 {
+			return code
+		}
 		fmt.Fprintf(os.Stderr, "mmsweep: %d rows written before the failure; -resume continues from them\n", stats.Emitted)
 		return 1
 	}
@@ -200,14 +261,11 @@ func openOut(path string, resume bool, cfg *sweep.Config) (*os.File, error) {
 		f.Close()
 		return nil, err
 	}
-	wantBuilder := ""
-	if cfg.BuildWorkers >= 1 {
-		wantBuilder = "sharded"
-	}
-	if state.Rows > 0 && state.Builder != wantBuilder {
+	if err := state.CheckBuilder(*cfg); err != nil {
+		// A *sweep.MismatchError naming the field and file offset; main
+		// maps it to exit code 2.
 		f.Close()
-		return nil, fmt.Errorf("resume: %s was written with builder %q but this run uses %q (-build-workers); the instances would not match",
-			path, state.Builder, wantBuilder)
+		return nil, err
 	}
 	if err := f.Truncate(state.ValidSize); err != nil {
 		f.Close()
@@ -217,9 +275,9 @@ func openOut(path string, resume bool, cfg *sweep.Config) (*os.File, error) {
 		f.Close()
 		return nil, err
 	}
-	cfg.Completed = state.Completed
-	// Seeds travel along so Stream refuses a -seed mismatch: the old rows
-	// and the new ones must describe the same instance universe.
-	cfg.CompletedSeeds = state.Seeds
+	// Completed cells are skipped; their recorded seeds and offsets travel
+	// along so Stream refuses a -seed mismatch (exit 2, offending offset in
+	// the message) instead of appending rows from a different universe.
+	state.Configure(cfg)
 	return f, nil
 }

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sweep"
+	"repro/internal/sweep/shard"
+)
+
+// Exit codes. The distinction between 1 and 2 is load-bearing: a supervisor
+// classifies exit 2 as permanent (restarting reruns the same refusal) and
+// stops retrying, while exit 1 is worth a backed-off restart.
+const (
+	exitOK       = 0
+	exitFailure  = 1 // sweep failure, violations, I/O errors
+	exitMismatch = 2 // configuration mismatch or bad usage
+)
+
+// classify maps a failure to its exit code: configuration mismatches
+// (sweep.MismatchError, or anything the supervisor already classified
+// permanent) exit 2, everything else exits 1.
+func classify(err error) int {
+	var mm *sweep.MismatchError
+	if errors.As(err, &mm) || shard.IsPermanent(err) {
+		return exitMismatch
+	}
+	return exitFailure
+}
+
+// runShard executes one shard worker: the cfg's canonical cell order is
+// partitioned len-ways by the spec, and this process streams its contiguous
+// slice into the derived shard file with resume semantics — restarting over
+// a crashed attempt's file costs exactly the torn row it died writing.
+func runShard(cfg sweep.Config, out, spec string, attempt, livenessFD int) int {
+	sp, err := shard.ParseSpec(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+		return exitMismatch
+	}
+	cfg.Shard = &sp
+	var beat func()
+	if livenessFD > 2 {
+		lf := os.NewFile(uintptr(livenessFD), "liveness")
+		if lf != nil {
+			defer lf.Close()
+			beat = func() { lf.Write([]byte{'.'}) } // any byte renews the lease
+		}
+	}
+	inj, err := chaosInjector(cfg.Seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+		return exitMismatch
+	}
+	path := shard.Path(out, sp.Index, sp.Count)
+	stats, err := shard.RunWorker(context.Background(), cfg, path, shard.WorkerOptions{
+		Attempt:  attempt,
+		Beat:     beat,
+		Injector: inj,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmsweep: shard %s: %v\n", sp, err)
+		return classify(err)
+	}
+	fmt.Fprintf(os.Stderr, "mmsweep: shard %s: %d rows (%d already complete) -> %s\n",
+		sp, stats.Emitted, stats.SkippedResume, path)
+	return exitOK
+}
+
+// runSupervise fork/execs n shard workers of this same binary and keeps
+// them alive: a lease per shard renewed by pipe heartbeats and shard-file
+// growth, crashed or hung workers restarted with backed-off jittered
+// delays, configuration mismatches (exit 2) treated as permanent. On
+// success the shard files are merged into -out and verified byte-identical
+// to the canonical order.
+func runSupervise(cfg sweep.Config, out string, n int, lease time.Duration, maxAttempts int) int {
+	bin, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+		return exitFailure
+	}
+	// Workers re-run this invocation's flags minus the supervision flags,
+	// plus their shard assignment; -chaos (when compiled in) passes through,
+	// so injected faults land in workers, not the supervisor.
+	base := stripFlags(os.Args[1:], "supervise", "merge", "shard", "attempt", "liveness-fd")
+	ec := shard.ExecConfig{
+		Bin: bin,
+		Args: func(shardIdx, attempt int) []string {
+			return append(append([]string{}, base...),
+				"-shard", fmt.Sprintf("%d/%d", shardIdx, n),
+				"-attempt", strconv.Itoa(attempt),
+				"-liveness-fd", strconv.Itoa(shard.LivenessFD))
+		},
+	}
+	sup := &shard.Supervisor{
+		Count:        n,
+		Launch:       ec.Launcher(),
+		ShardFile:    func(i int) string { return shard.Path(out, i, n) },
+		LeaseTimeout: lease,
+		MaxAttempts:  maxAttempts,
+		Seed:         cfg.Seed,
+		Log:          os.Stderr,
+	}
+	if err := sup.Run(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+		fmt.Fprintln(os.Stderr, "mmsweep: shard files keep their completed rows; re-running resumes from them")
+		return classify(err)
+	}
+	return runMerge(cfg, out, n)
+}
+
+// runMerge stitches the n shard files back into -out as one verified,
+// byte-identical artefact, then replays it through the aggregate and
+// violations sinks so a supervised run reports exactly what a
+// single-process run would have.
+func runMerge(cfg sweep.Config, out string, n int) int {
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+		return exitFailure
+	}
+	bw := bufio.NewWriter(f)
+	rows, err := shard.Merge(bw, cfg, shard.Paths(out, n))
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync() // the merged artefact is the durable deliverable
+	}
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmsweep: merge: %v\n", err)
+		return classify(err)
+	}
+	fmt.Fprintf(os.Stderr, "mmsweep: merged %d rows from %d shards -> %s\n", rows, n, out)
+
+	rf, err := os.Open(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+		return exitFailure
+	}
+	defer rf.Close()
+	var agg sweep.AggregateSink
+	var vio sweep.ViolationsSink
+	if _, err := sweep.DecodeRows(rf, sweep.MultiSink(&agg, &vio)); err != nil {
+		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+		return exitFailure
+	}
+	if err := agg.RenderTable(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+		return exitFailure
+	}
+	if cfg.CheckBounds {
+		if len(vio.Lines) > 0 {
+			fmt.Fprintf(os.Stderr, "mmsweep: %d communication-bound violations:\n", len(vio.Lines))
+			for _, v := range vio.Lines {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			return exitFailure
+		}
+		fmt.Fprintln(os.Stdout, "bounds: all communication contracts hold")
+	}
+	return exitOK
+}
+
+// stripFlags removes the named flags (with their values, in both "-name v"
+// and "-name=v" forms) from an argument list — how the supervisor derives
+// worker argv from its own.
+func stripFlags(args []string, names ...string) []string {
+	drop := map[string]bool{}
+	for _, n := range names {
+		drop[n] = true
+	}
+	kept := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if !strings.HasPrefix(a, "-") {
+			kept = append(kept, a)
+			continue
+		}
+		name := strings.TrimLeft(a, "-")
+		name, _, hasEq := strings.Cut(name, "=")
+		if drop[name] {
+			if !hasEq && i+1 < len(args) && !strings.HasPrefix(args[i+1], "-") {
+				i++ // consume the separate value
+			}
+			continue
+		}
+		kept = append(kept, a)
+	}
+	return kept
+}

@@ -1,0 +1,51 @@
+package gen
+
+import "fmt"
+
+// CellRange addresses a contiguous slice [Lo, Hi) of a grid's canonical
+// cell order — the order ParseGrid expands cells in, crossed with
+// algorithms and repetitions by the sweep driver. Because the canonical
+// order is a pure function of the Config (never of execution), a range is
+// a stable, machine-independent name for a portion of a sweep: shard
+// workers run disjoint ranges and their outputs concatenate back into the
+// single-process row order.
+type CellRange struct {
+	Lo, Hi int
+}
+
+// Len returns the number of cells the range addresses.
+func (r CellRange) Len() int { return r.Hi - r.Lo }
+
+// Contains reports whether canonical index i falls in the range.
+func (r CellRange) Contains(i int) bool { return r.Lo <= i && i < r.Hi }
+
+// String renders the range as "[lo,hi)".
+func (r CellRange) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// SplitCells partitions the canonical cell order [0, total) into `shards`
+// contiguous, balanced ranges: every range has ⌊total/shards⌋ or
+// ⌈total/shards⌉ cells, the longer ranges come first, and the ranges cover
+// the order exactly — so concatenating shard outputs in shard order IS the
+// canonical order, which is what makes the sharded-sweep merge a verified
+// concatenation rather than a sort. The split is a pure function of
+// (total, shards): every worker, the supervisor, and the merge step derive
+// the identical partition independently, with no coordination channel to
+// disagree over. When shards exceeds total the tail ranges are empty
+// (Len() == 0) — a worker with an empty range is a valid no-op.
+func SplitCells(total, shards int) []CellRange {
+	if total < 0 || shards < 1 {
+		return nil
+	}
+	per, extra := total/shards, total%shards
+	out := make([]CellRange, shards)
+	lo := 0
+	for i := range out {
+		n := per
+		if i < extra {
+			n++
+		}
+		out[i] = CellRange{Lo: lo, Hi: lo + n}
+		lo += n
+	}
+	return out
+}

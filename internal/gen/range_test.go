@@ -1,0 +1,75 @@
+package gen
+
+import "testing"
+
+// TestSplitCellsCoversExactly: for a spread of (total, shards) pairs the
+// ranges are contiguous, balanced within one cell, and cover [0, total)
+// exactly — the invariant the sharded-sweep merge relies on to be a
+// verified concatenation.
+func TestSplitCellsCoversExactly(t *testing.T) {
+	for _, tc := range []struct{ total, shards int }{
+		{0, 1}, {1, 1}, {1, 4}, {3, 4}, {4, 4}, {5, 4}, {7, 3}, {100, 7}, {65536, 16},
+	} {
+		ranges := SplitCells(tc.total, tc.shards)
+		if len(ranges) != tc.shards {
+			t.Fatalf("SplitCells(%d,%d): %d ranges", tc.total, tc.shards, len(ranges))
+		}
+		lo, min, max := 0, tc.total, 0
+		for i, r := range ranges {
+			if r.Lo != lo {
+				t.Fatalf("SplitCells(%d,%d): range %d starts at %d, want %d", tc.total, tc.shards, i, r.Lo, lo)
+			}
+			if r.Len() < 0 {
+				t.Fatalf("SplitCells(%d,%d): range %d negative: %s", tc.total, tc.shards, i, r)
+			}
+			if r.Len() < min {
+				min = r.Len()
+			}
+			if r.Len() > max {
+				max = r.Len()
+			}
+			lo = r.Hi
+		}
+		if lo != tc.total {
+			t.Fatalf("SplitCells(%d,%d): ranges end at %d", tc.total, tc.shards, lo)
+		}
+		if tc.total > 0 && max-min > 1 {
+			t.Errorf("SplitCells(%d,%d): unbalanced (min %d, max %d)", tc.total, tc.shards, min, max)
+		}
+	}
+}
+
+// TestSplitCellsDeterministic: the partition is a pure function — every
+// process that computes it independently gets the same ranges.
+func TestSplitCellsDeterministic(t *testing.T) {
+	a, b := SplitCells(1234, 7), SplitCells(1234, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("range %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// Longer ranges first: 10 = 3+3+2+2.
+	got := SplitCells(10, 4)
+	want := []CellRange{{0, 3}, {3, 6}, {6, 8}, {8, 10}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SplitCells(10,4)[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCellRangeContains pins the half-open convention.
+func TestCellRangeContains(t *testing.T) {
+	r := CellRange{Lo: 2, Hi: 5}
+	for i, want := range map[int]bool{1: false, 2: true, 4: true, 5: false} {
+		if r.Contains(i) != want {
+			t.Errorf("Contains(%d) = %v, want %v", i, !want, want)
+		}
+	}
+	if (CellRange{3, 3}).Len() != 0 {
+		t.Error("empty range Len != 0")
+	}
+	if SplitCells(-1, 2) != nil || SplitCells(4, 0) != nil {
+		t.Error("invalid inputs must return nil")
+	}
+}

@@ -24,8 +24,8 @@ func TestAllExperimentsRun(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("%d experiments registered, want 16", len(all))
+	if len(all) != 17 {
+		t.Fatalf("%d experiments registered, want 17", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -39,14 +39,34 @@
 // ViolationsSink collects contract breaches; all see rows strictly in cell
 // order with no locking needed.
 //
-// On a cell failure or cancelled context the stream aborts fail-fast:
-// because emission is in-order, whatever was written is a clean prefix of
-// the deterministic output. ReadCompleted rebuilds the completed-cell set
-// from such a prefix (cutting a torn final line at ResumeState.ValidSize),
-// and a re-run with Config.Completed set skips those cells and appends
-// exactly the missing rows — the resumed file is byte-identical to an
-// uninterrupted run, pinned by test and exercised as a real
-// SIGKILL/resume/cmp cycle in CI.
+// On a cell failure, sink error, or cancelled context the stream aborts
+// fail-fast: because emission is in-order, whatever was written is a clean
+// prefix of the deterministic output. ReadCompleted rebuilds the
+// completed-cell set from such a prefix (cutting a torn final line at
+// ResumeState.ValidSize), and a re-run with ResumeState.Configure applied
+// skips those cells and appends exactly the missing rows — the resumed
+// file is byte-identical to an uninterrupted run, pinned by test and
+// exercised as a real SIGKILL/resume/cmp cycle in CI. Resuming over rows
+// from a different configuration is refused with a *MismatchError naming
+// the mismatched field (seed or builder) and the offending row's byte
+// offset; cmd/mmsweep maps it to exit code 2, the permanent-failure
+// convention supervisors use to stop retrying.
+//
+// # Durability and sharding
+//
+// JSONLSink flushes after every row — a SIGKILLed process leaves its
+// completed rows on disk — and a destination registered with WithSync
+// additionally reaches stable storage on Sync, the boundary shard workers
+// cross before reporting a cell range complete (per-row fsync would
+// serialise the sweep on the disk; completion-boundary fsync is where the
+// resume machinery actually needs durability).
+//
+// Config.Shard restricts a run to one contiguous slice of the canonical
+// cell order (gen.SplitCells partitions it; CellPlan exposes the canonical
+// (ID, seed) plan). The sub-package internal/sweep/shard builds the
+// fault-tolerant multi-process topology on top: supervised workers with
+// leases and backed-off restarts, deterministic fault injection, and a
+// verified merge byte-identical to the single-process run.
 //
 // # Machine-checked bounds
 //
@@ -64,9 +84,11 @@
 //
 // A Result row records the instance shape, round count, matching size, the
 // full per-round histogram and any violations, and marshals to one JSON
-// line — byte-identical for identical Configs regardless of cell, engine
-// or build parallelism (the golden test pins the bytes). cmd/mmsweep is
-// the CLI (streaming -out, -resume, -build-workers); harness experiment
-// E16 sweeps all nine families with bounds checked and pins buffered,
-// streamed, and killed-then-resumed output byte-identical.
+// line — byte-identical for identical Configs regardless of cell, engine,
+// build parallelism or process count (the golden test pins the bytes).
+// cmd/mmsweep is the CLI (streaming -out, -resume, -build-workers, and the
+// sharded -shard/-supervise/-merge modes); harness experiment E16 sweeps
+// all nine families with bounds checked and pins buffered, streamed, and
+// killed-then-resumed output byte-identical, and E17 pins the supervised
+// sharded sweep crash-identical under injected kills and hangs.
 package sweep

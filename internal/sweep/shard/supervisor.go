@@ -1,0 +1,329 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/sweep"
+)
+
+// Default supervision knobs; see the Supervisor fields for semantics.
+const (
+	DefaultLeaseTimeout = 30 * time.Second
+	DefaultMaxAttempts  = 5
+	DefaultBackoffBase  = 250 * time.Millisecond
+	DefaultBackoffMax   = 10 * time.Second
+)
+
+// Permanent wraps a worker failure that restarting cannot fix — a
+// configuration mismatch against existing shard rows, reported by exit
+// code 2 from a fork/exec worker or a *sweep.MismatchError from an
+// in-process one. The supervisor stops retrying the shard, cancels its
+// siblings, and fails the run.
+type Permanent struct{ Err error }
+
+// Error implements error.
+func (p *Permanent) Error() string { return fmt.Sprintf("permanent worker failure: %v", p.Err) }
+
+// Unwrap exposes the underlying failure.
+func (p *Permanent) Unwrap() error { return p.Err }
+
+// IsPermanent reports whether err is a failure restarts cannot fix.
+func IsPermanent(err error) bool {
+	var p *Permanent
+	var mm *sweep.MismatchError
+	return errors.As(err, &p) || errors.As(err, &mm)
+}
+
+// errLeaseExpired marks a lease-timeout kill, so restart logs can tell a
+// hang from a crash.
+type errLeaseExpired struct {
+	timeout time.Duration
+	exit    error
+}
+
+func (e *errLeaseExpired) Error() string {
+	return fmt.Sprintf("lease expired after %s (hung worker killed, exit: %v)", e.timeout, e.exit)
+}
+
+// Handle is a running worker attempt as the supervisor sees it.
+type Handle interface {
+	// Beats delivers liveness pulses — one per emitted row for the
+	// built-in workers. The channel never closes; a silent worker simply
+	// stops delivering.
+	Beats() <-chan struct{}
+	// Done delivers the attempt's exit status exactly once: nil for a
+	// completed shard, *Permanent for a failure restarts cannot fix, any
+	// other error for a crash worth retrying.
+	Done() <-chan error
+	// Kill hard-stops a hung worker (SIGKILL for processes, context
+	// cancellation for goroutines); Done still delivers afterwards.
+	Kill()
+}
+
+// Launcher starts one attempt of one shard's worker.
+type Launcher func(ctx context.Context, shardIdx, attempt int) (Handle, error)
+
+// Supervisor runs the N workers of a sharded sweep and keeps them alive:
+// one lease per shard, renewed by worker heartbeats and by observed shard-
+// file growth; a worker whose lease expires is presumed hung and killed; a
+// dead worker (crashed, killed, or SIGKILLed by chaos) is relaunched after
+// an exponentially backed-off, deterministically jittered delay, resuming
+// its shard file through the ordinary resume machinery. Failures that
+// restarting cannot fix (Permanent / sweep.MismatchError) stop the run
+// immediately; a shard that keeps dying is abandoned after MaxAttempts and
+// fails the run, cancelling its siblings — their shard files remain valid
+// resumable prefixes.
+type Supervisor struct {
+	// Count is the number of shards (== workers).
+	Count int
+	// Launch starts one worker attempt.
+	Launch Launcher
+	// ShardFile names shard i's JSONL file; when non-nil its growth
+	// renews the lease, covering workers whose beat channel is lost.
+	ShardFile func(i int) string
+	// LeaseTimeout is how long a shard may go without a heartbeat or
+	// file growth before its worker is declared hung and killed
+	// (0 = DefaultLeaseTimeout). It must comfortably exceed the longest
+	// single cell, since a worker mid-cell produces neither rows nor
+	// beats.
+	LeaseTimeout time.Duration
+	// PollInterval is the shard-file stat cadence (0 = LeaseTimeout/4).
+	PollInterval time.Duration
+	// MaxAttempts bounds launches per shard (0 = DefaultMaxAttempts).
+	MaxAttempts int
+	// BackoffBase doubles per consecutive failure up to BackoffMax
+	// (0 = DefaultBackoffBase/DefaultBackoffMax).
+	BackoffBase, BackoffMax time.Duration
+	// Seed drives the backoff jitter — deterministic, so a supervised
+	// run's restart schedule is reproducible.
+	Seed int64
+	// Log receives one line per supervision event (nil = discard).
+	Log io.Writer
+
+	logMu sync.Mutex
+}
+
+// Run supervises all shards to completion and returns the first (lowest-
+// shard) failure, or nil when every shard completed. Any shard failure
+// cancels the remaining shards' workers; their files stay resumable.
+func (s *Supervisor) Run(ctx context.Context) error {
+	if s.Count < 1 {
+		return fmt.Errorf("shard: supervisor needs Count ≥ 1")
+	}
+	if s.Launch == nil {
+		return fmt.Errorf("shard: supervisor needs a Launcher")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, s.Count)
+	var wg sync.WaitGroup
+	for i := 0; i < s.Count; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.superviseShard(ctx, i); err != nil {
+				errs[i] = err
+				cancel() // fail fast: siblings stop at their next cell
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		// Report the lowest-shard real failure; a bare context
+		// cancellation on a sibling is the echo of that failure, not news.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// superviseShard drives one shard through launch/monitor/restart cycles.
+func (s *Supervisor) superviseShard(ctx context.Context, shardIdx int) error {
+	maxAttempts := s.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultMaxAttempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			d := s.backoff(shardIdx, attempt)
+			s.logf("shard %d: attempt %d in %s (previous: %v)", shardIdx, attempt, d, lastErr)
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		h, err := s.Launch(ctx, shardIdx, attempt)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = s.monitor(ctx, shardIdx, h)
+		switch {
+		case err == nil:
+			if attempt > 0 {
+				s.logf("shard %d: completed after %d restarts", shardIdx, attempt)
+			}
+			return nil
+		case IsPermanent(err):
+			return err
+		case ctx.Err() != nil:
+			return ctx.Err()
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("giving up after %d attempts: %w", maxAttempts, lastErr)
+}
+
+// monitor watches one attempt until it exits or its lease expires. The
+// lease renews on every heartbeat and on every observed shard-file growth;
+// its expiry means the worker has made no externally visible progress for
+// a full timeout — hung, not slow — and the worker is killed.
+func (s *Supervisor) monitor(ctx context.Context, shardIdx int, h Handle) error {
+	timeout := s.LeaseTimeout
+	if timeout <= 0 {
+		timeout = DefaultLeaseTimeout
+	}
+	poll := s.PollInterval
+	if poll <= 0 {
+		poll = timeout / 4
+	}
+	lease := time.NewTimer(timeout)
+	defer lease.Stop()
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	renew := func() {
+		if !lease.Stop() {
+			select {
+			case <-lease.C:
+			default:
+			}
+		}
+		lease.Reset(timeout)
+	}
+	lastSize := s.statShard(shardIdx)
+	for {
+		select {
+		case <-h.Beats():
+			renew()
+		case <-ticker.C:
+			if sz := s.statShard(shardIdx); sz > lastSize {
+				lastSize = sz
+				renew()
+			}
+		case err := <-h.Done():
+			return err
+		case <-lease.C:
+			s.logf("shard %d: lease expired after %s — killing hung worker", shardIdx, timeout)
+			h.Kill()
+			return &errLeaseExpired{timeout: timeout, exit: <-h.Done()}
+		case <-ctx.Done():
+			h.Kill()
+			<-h.Done()
+			return ctx.Err()
+		}
+	}
+}
+
+// statShard returns the shard file's current size (-1 when unknown).
+func (s *Supervisor) statShard(i int) int64 {
+	if s.ShardFile == nil {
+		return -1
+	}
+	fi, err := os.Stat(s.ShardFile(i))
+	if err != nil {
+		return -1
+	}
+	return fi.Size()
+}
+
+// backoff computes the delay before the given restart attempt: BackoffBase
+// doubling per attempt, capped at BackoffMax, with a deterministic ±25%
+// jitter derived from (Seed, shard, attempt) — restarting shards spread
+// out without the schedule becoming irreproducible.
+func (s *Supervisor) backoff(shardIdx, attempt int) time.Duration {
+	base, max := s.BackoffBase, s.BackoffMax
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	u := unit(gen.SubSeed(s.Seed, "backoff", strconv.Itoa(shardIdx), strconv.Itoa(attempt)))
+	return time.Duration(float64(d) * (0.75 + 0.5*u))
+}
+
+// logf writes one supervision event line (goroutine-safe).
+func (s *Supervisor) logf(format string, args ...any) {
+	if s.Log == nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	fmt.Fprintf(s.Log, "supervisor: "+format+"\n", args...)
+}
+
+// GoLauncher adapts an in-process worker function into a Launcher — the
+// topology harness experiments and unit tests use. Each attempt runs as a
+// goroutine under its own cancellable context; Kill cancels it, which is
+// the in-process analogue of SIGKILL: the worker's stream aborts at its
+// next cell boundary and the shard file is left a clean resumable prefix.
+func GoLauncher(run func(ctx context.Context, shardIdx, attempt int, beat func()) error) Launcher {
+	return func(ctx context.Context, shardIdx, attempt int) (Handle, error) {
+		wctx, cancel := context.WithCancel(ctx)
+		h := &goHandle{
+			beats:  make(chan struct{}, 1),
+			done:   make(chan error, 1),
+			cancel: cancel,
+		}
+		go func() {
+			err := run(wctx, shardIdx, attempt, h.beat)
+			if err != nil && !IsPermanent(err) {
+				// Keep mismatches permanent; everything else retries.
+				err = fmt.Errorf("worker: %w", err)
+			}
+			h.done <- err
+		}()
+		return h, nil
+	}
+}
+
+// goHandle is the in-process worker handle.
+type goHandle struct {
+	beats  chan struct{}
+	done   chan error
+	cancel context.CancelFunc
+}
+
+func (h *goHandle) beat() {
+	select {
+	case h.beats <- struct{}{}:
+	default:
+	}
+}
+
+func (h *goHandle) Beats() <-chan struct{} { return h.beats }
+func (h *goHandle) Done() <-chan error     { return h.done }
+func (h *goHandle) Kill()                  { h.cancel() }

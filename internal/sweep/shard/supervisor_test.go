@@ -1,0 +1,266 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// quickSupervisor builds a Supervisor with test-speed timings.
+func quickSupervisor(n int, launch Launcher) *Supervisor {
+	return &Supervisor{
+		Count:        n,
+		Launch:       launch,
+		LeaseTimeout: 400 * time.Millisecond,
+		PollInterval: 50 * time.Millisecond,
+		MaxAttempts:  4,
+		BackoffBase:  10 * time.Millisecond,
+		BackoffMax:   40 * time.Millisecond,
+		Seed:         1,
+	}
+}
+
+// TestSupervisorRestartsCrashedWorker: a worker that dies on its first two
+// attempts is restarted with backoff and the shard still completes; the
+// attempt sequence is visible to the launcher.
+func TestSupervisorRestartsCrashedWorker(t *testing.T) {
+	var launches int32
+	launch := GoLauncher(func(ctx context.Context, shardIdx, attempt int, beat func()) error {
+		atomic.AddInt32(&launches, 1)
+		if attempt < 2 {
+			return fmt.Errorf("simulated crash on attempt %d", attempt)
+		}
+		beat()
+		return nil
+	})
+	if err := quickSupervisor(1, launch).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&launches); got != 3 {
+		t.Fatalf("launched %d attempts, want 3", got)
+	}
+}
+
+// TestSupervisorLeaseTimeoutKillsHungWorker: a worker that stops beating
+// and making progress is killed at lease expiry and its restart completes
+// the shard. The hung attempt must observe the kill (context
+// cancellation), not linger.
+func TestSupervisorLeaseTimeoutKillsHungWorker(t *testing.T) {
+	var hungSawKill atomic.Bool
+	launch := GoLauncher(func(ctx context.Context, shardIdx, attempt int, beat func()) error {
+		if attempt == 0 {
+			<-ctx.Done() // hang: no beats, no progress, until killed
+			hungSawKill.Store(true)
+			return ctx.Err()
+		}
+		return nil
+	})
+	var log bytes.Buffer
+	sup := quickSupervisor(1, launch)
+	sup.Log = &log
+	start := time.Now()
+	if err := sup.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !hungSawKill.Load() {
+		t.Error("hung worker was never killed")
+	}
+	if elapsed := time.Since(start); elapsed < 400*time.Millisecond {
+		t.Errorf("completed in %s — the lease cannot have expired", elapsed)
+	}
+	if !strings.Contains(log.String(), "lease expired") {
+		t.Errorf("log does not record the lease expiry:\n%s", log.String())
+	}
+}
+
+// TestSupervisorBeatsRenewLease: a slow worker that keeps beating is NOT
+// killed even though it takes several lease timeouts to finish.
+func TestSupervisorBeatsRenewLease(t *testing.T) {
+	var launches int32
+	launch := GoLauncher(func(ctx context.Context, shardIdx, attempt int, beat func()) error {
+		atomic.AddInt32(&launches, 1)
+		for i := 0; i < 10; i++ { // 1s of work against a 400ms lease
+			select {
+			case <-time.After(100 * time.Millisecond):
+				beat()
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	})
+	if err := quickSupervisor(1, launch).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&launches); got != 1 {
+		t.Fatalf("beating worker was restarted (%d launches)", got)
+	}
+}
+
+// TestSupervisorFileGrowthRenewsLease: a worker whose beat channel is
+// mute but whose shard file keeps growing is alive by definition — the
+// file IS the progress — and must not be killed.
+func TestSupervisorFileGrowthRenewsLease(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s0.jsonl")
+	var launches int32
+	launch := GoLauncher(func(ctx context.Context, shardIdx, attempt int, beat func()) error {
+		atomic.AddInt32(&launches, 1)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		for i := 0; i < 10; i++ { // growth every 100ms against a 400ms lease
+			select {
+			case <-time.After(100 * time.Millisecond):
+				fmt.Fprintln(f, "row")
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	})
+	sup := quickSupervisor(1, launch)
+	sup.ShardFile = func(int) string { return path }
+	if err := sup.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&launches); got != 1 {
+		t.Fatalf("growing worker was restarted (%d launches)", got)
+	}
+}
+
+// TestSupervisorPermanentStopsRetrying: a configuration mismatch must not
+// be retried — one launch, the error surfaces, and sibling shards are
+// cancelled rather than run to completion.
+func TestSupervisorPermanentStopsRetrying(t *testing.T) {
+	var launches0, kills1 int32
+	launch := GoLauncher(func(ctx context.Context, shardIdx, attempt int, beat func()) error {
+		if shardIdx == 0 {
+			atomic.AddInt32(&launches0, 1)
+			return &sweep.MismatchError{Field: "seed", Cell: "x", Want: "1", Got: "2"}
+		}
+		<-ctx.Done() // long-running sibling: must be cancelled, not awaited
+		atomic.AddInt32(&kills1, 1)
+		return ctx.Err()
+	})
+	err := quickSupervisor(2, launch).Run(context.Background())
+	var mm *sweep.MismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("error is not the mismatch: %v", err)
+	}
+	if got := atomic.LoadInt32(&launches0); got != 1 {
+		t.Fatalf("permanent failure retried (%d launches)", got)
+	}
+	if got := atomic.LoadInt32(&kills1); got != 1 {
+		t.Fatalf("sibling shard not cancelled exactly once (%d)", got)
+	}
+}
+
+// TestSupervisorGivesUpAfterMaxAttempts: a shard that keeps crashing is
+// abandoned with an error naming the attempt budget and the last failure.
+func TestSupervisorGivesUpAfterMaxAttempts(t *testing.T) {
+	var launches int32
+	launch := GoLauncher(func(ctx context.Context, shardIdx, attempt int, beat func()) error {
+		atomic.AddInt32(&launches, 1)
+		return fmt.Errorf("always down")
+	})
+	err := quickSupervisor(1, launch).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "giving up after 4 attempts") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "always down") {
+		t.Errorf("error does not carry the last failure: %v", err)
+	}
+	if got := atomic.LoadInt32(&launches); got != 4 {
+		t.Fatalf("launched %d attempts, want 4", got)
+	}
+}
+
+// TestBackoffDeterministicJitter: delays double to the cap, stay within
+// the ±25% jitter band, reproduce exactly for a seed, and differ across
+// shards so synchronized crash storms spread out.
+func TestBackoffDeterministicJitter(t *testing.T) {
+	s := &Supervisor{BackoffBase: 100 * time.Millisecond, BackoffMax: time.Second, Seed: 7}
+	for attempt := 1; attempt <= 8; attempt++ {
+		nominal := 100 * time.Millisecond << (attempt - 1)
+		if nominal > time.Second {
+			nominal = time.Second
+		}
+		d := s.backoff(3, attempt)
+		if d != s.backoff(3, attempt) {
+			t.Fatal("backoff is not deterministic")
+		}
+		lo := time.Duration(float64(nominal) * 0.75)
+		hi := time.Duration(float64(nominal) * 1.25)
+		if d < lo || d > hi {
+			t.Errorf("attempt %d: backoff %s outside [%s, %s]", attempt, d, lo, hi)
+		}
+	}
+	if s.backoff(0, 1) == s.backoff(1, 1) {
+		t.Error("different shards share a jitter — crash storms would restart in lockstep")
+	}
+}
+
+// TestSupervisorEndToEndInProcess: the full library loop — four in-process
+// workers running real shard sweeps, one crashing twice with torn-tail
+// debris, one hanging past the lease — still converges to a merged file
+// byte-identical to the single-process run.
+func TestSupervisorEndToEndInProcess(t *testing.T) {
+	cfg := shardConfig()
+	want := singleProcessJSONL(t, cfg)
+	dir := t.TempDir()
+	const n = 4
+	paths := Paths(filepath.Join(dir, "sweep.jsonl"), n)
+
+	launch := GoLauncher(func(ctx context.Context, shardIdx, attempt int, beat func()) error {
+		switch {
+		case shardIdx == 1 && attempt == 0:
+			// Crash, leaving the SIGKILL debris of a torn half-row the
+			// restart must truncate away.
+			f, err := os.OpenFile(paths[1], os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+			if err != nil {
+				return err
+			}
+			f.WriteString(`{"scenario":"path","params":"k=`)
+			f.Close()
+			return fmt.Errorf("simulated crash mid-write")
+		case shardIdx == 1 && attempt == 1:
+			return fmt.Errorf("simulated crash on restart")
+		case shardIdx == 2 && attempt == 0:
+			<-ctx.Done() // hang: no progress until the lease kill lands
+			return ctx.Err()
+		}
+		scfg := cfg
+		scfg.Shard = &sweep.ShardSpec{Index: shardIdx, Count: n}
+		_, err := RunWorker(ctx, scfg, paths[shardIdx], WorkerOptions{Attempt: attempt, Beat: beat})
+		return err
+	})
+	sup := quickSupervisor(n, launch)
+	sup.ShardFile = func(i int) string { return paths[i] }
+	var log bytes.Buffer
+	sup.Log = &log
+	if err := sup.Run(context.Background()); err != nil {
+		t.Fatalf("%v\nlog:\n%s", err, log.String())
+	}
+	var merged bytes.Buffer
+	if _, err := Merge(&merged, cfg, paths); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged.Bytes(), want) {
+		t.Fatal("merged output differs from the single-process run")
+	}
+	if !strings.Contains(log.String(), "lease expired") {
+		t.Errorf("hang was not detected via the lease:\n%s", log.String())
+	}
+}

@@ -2,9 +2,11 @@ package sweep
 
 import (
 	"context"
-	"fmt"
 	goruntime "runtime"
+	"strconv"
 	"sync"
+
+	"repro/internal/gen"
 )
 
 // DefaultReorderWindow bounds how many completed cells the stream driver
@@ -63,6 +65,19 @@ func Stream(ctx context.Context, cfg Config, sink Sink) (StreamStats, error) {
 	if err != nil {
 		return StreamStats{}, err
 	}
+	if cfg.Shard != nil {
+		// A shard runs one contiguous slice of the canonical order; the
+		// slice is a pure function of (cell count, shard count), so every
+		// shard of a Config computes the same partition independently.
+		if err := cfg.Shard.validate(); err != nil {
+			return StreamStats{}, err
+		}
+		r := gen.SplitCells(len(cells), cfg.Shard.Count)[cfg.Shard.Index]
+		cells = cells[r.Lo:r.Hi]
+		if len(cells) == 0 {
+			return StreamStats{}, ctx.Err() // an empty shard is a valid no-op
+		}
+	}
 	var stats StreamStats
 	jobs := cells
 	if len(cfg.Completed) > 0 {
@@ -73,6 +88,29 @@ func Stream(ctx context.Context, cfg Config, sink Sink) (StreamStats, error) {
 				continue
 			}
 			jobs = append(jobs, c)
+		}
+	}
+	// A resumed run must derive the same per-cell seeds the original rows
+	// were produced with; CompletedSeeds (recorded by ReadCompleted)
+	// catches a -seed mismatch before any mixed-universe row is appended.
+	// This must run even when every cell is already complete — a fully
+	// finished file from the wrong seed universe is still a mismatch, not a
+	// success.
+	if cfg.CompletedSeeds != nil {
+		for _, c := range cells {
+			want, ok := cfg.CompletedSeeds[c.id()]
+			if !ok || !cfg.Completed[c.id()] {
+				continue
+			}
+			if got := cellSeed(cfg, c); got != want {
+				return StreamStats{}, &MismatchError{
+					Field:  "seed",
+					Cell:   c.id(),
+					Offset: cfg.CompletedOffsets[c.id()],
+					Want:   strconv.FormatInt(want, 10),
+					Got:    strconv.FormatInt(got, 10),
+				}
+			}
 		}
 	}
 	if len(jobs) == 0 {
@@ -89,23 +127,6 @@ func Stream(ctx context.Context, cfg Config, sink Sink) (StreamStats, error) {
 	window := cfg.ReorderWindow
 	if window <= 0 {
 		window = DefaultReorderWindow(workers)
-	}
-
-	// A resumed run must derive the same per-cell seeds the original rows
-	// were produced with; CompletedSeeds (recorded by ReadCompleted)
-	// catches a -seed mismatch before any mixed-universe row is appended.
-	if cfg.CompletedSeeds != nil {
-		for _, c := range cells {
-			want, ok := cfg.CompletedSeeds[c.id()]
-			if !ok || !cfg.Completed[c.id()] {
-				continue
-			}
-			if got := cellSeed(cfg, c); got != want {
-				return StreamStats{}, fmt.Errorf(
-					"sweep: resume: cell %s was recorded with seed %d but this run derives %d — the base seed differs",
-					c.id(), want, got)
-			}
-		}
 	}
 
 	o := &orderer{sink: sink, window: window, buf: map[int]*Result{}, errAt: map[int]error{}}

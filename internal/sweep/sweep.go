@@ -60,6 +60,69 @@ type Config struct {
 	// refuses to resume across a base-seed mismatch — otherwise the old
 	// prefix and the new suffix would describe different instances.
 	CompletedSeeds map[string]int64
+	// CompletedOffsets optionally maps those IDs to their rows' byte
+	// offsets (ResumeState.Offsets), so a seed-mismatch refusal can point
+	// at the offending row in the file.
+	CompletedOffsets map[string]int64
+	// Shard, when non-nil, restricts the run to one contiguous slice of
+	// the canonical cell order: shard Index of Count, the range computed
+	// by gen.SplitCells over the expanded grid. The Count shards of a
+	// Config partition its cells exactly, each emitting its rows in
+	// canonical order, so concatenating the shard outputs in index order
+	// reproduces the single-process file byte for byte (shard.Merge
+	// verifies exactly that). Completed/CompletedSeeds compose with Shard:
+	// resume filtering applies within the shard's range.
+	Shard *ShardSpec
+}
+
+// ShardSpec names one shard of a sharded sweep: shard Index of Count.
+type ShardSpec struct {
+	Index, Count int
+}
+
+// String renders the spec in the "i/N" syntax mmsweep's -shard flag takes.
+func (s ShardSpec) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
+
+// validate checks the spec addresses a real shard.
+func (s ShardSpec) validate() error {
+	if s.Count < 1 || s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("sweep: invalid shard %s (want 0 ≤ index < count)", s)
+	}
+	return nil
+}
+
+// BuilderTag returns the builder tag cfg's rows will carry: "sharded" for
+// the parallel instance builder, "" for the sequential one. It is the
+// value resume and merge verification hold recovered rows against.
+func BuilderTag(cfg Config) string {
+	if cfg.BuildWorkers >= 1 {
+		return "sharded"
+	}
+	return ""
+}
+
+// CellInfo names one cell of the canonical order: its ID and the instance
+// seed this Config derives for it.
+type CellInfo struct {
+	ID   string
+	Seed int64
+}
+
+// CellPlan expands cfg and returns every cell's identity in canonical
+// order, ignoring Shard/Completed filtering — the full single-process row
+// order a sharded sweep's merge must reproduce, with the expected per-cell
+// seeds so merge verification can refuse rows from a different seed
+// universe.
+func CellPlan(cfg Config) ([]CellInfo, error) {
+	cells, err := expand(cfg)
+	if err != nil {
+		return nil, err
+	}
+	plan := make([]CellInfo, len(cells))
+	for i, c := range cells {
+		plan[i] = CellInfo{ID: c.id(), Seed: cellSeed(cfg, c)}
+	}
+	return plan, nil
 }
 
 // Result is one cell's outcome — one JSONL row.
