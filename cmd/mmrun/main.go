@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/colsys"
 	"repro/internal/dist"
 	"repro/internal/gen"
@@ -49,9 +50,7 @@ func main() {
 	flag.Parse()
 
 	if *scenario == "list" {
-		for _, s := range gen.All() {
-			fmt.Printf("%-16s %s\n  defaults: %s\n", s.Name, s.Doc, s.Params)
-		}
+		cli.PrintScenarios(os.Stdout)
 		return
 	}
 	if *scenario != "" {
@@ -62,7 +61,7 @@ func main() {
 		flag.Visit(func(f *flag.Flag) {
 			if ignored[f.Name] {
 				fmt.Fprintf(os.Stderr, "mmrun: -%s has no effect with -scenario; pass instance parameters in the spec (e.g. -scenario name:%s=…)\n", f.Name, f.Name)
-				os.Exit(2)
+				os.Exit(cli.ExitMismatch)
 			}
 		})
 	}
@@ -83,7 +82,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmrun: %v\n", err)
-		os.Exit(2)
+		os.Exit(cli.ExitMismatch)
 	}
 
 	var factory runtime.Source
@@ -99,7 +98,7 @@ func main() {
 		// check the mismatch here and fail with a usable message instead.
 		if d := g.MaxDegree(); d > *delta {
 			fmt.Fprintf(os.Stderr, "mmrun: -algo reduced needs max degree ≤ delta, but the instance has Δ = %d > %d; raise -delta\n", d, *delta)
-			os.Exit(2)
+			os.Exit(cli.ExitMismatch)
 		}
 		factory = dist.NewReducedGreedyMachine(*delta)
 		if t := dist.TotalRounds(g.K(), *delta) + 8; t > maxRounds {
@@ -108,7 +107,7 @@ func main() {
 	case "bipartite":
 		if labels == nil {
 			fmt.Fprintln(os.Stderr, "mmrun: -algo bipartite needs a labelled instance (e.g. -scenario double-cover)")
-			os.Exit(2)
+			os.Exit(cli.ExitMismatch)
 		}
 		factory = dist.NewBipartiteMachine
 		if t := 4*g.MaxDegree() + 16; t > maxRounds {
@@ -116,7 +115,7 @@ func main() {
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "mmrun: unknown algorithm %q\n", *algName)
-		os.Exit(2)
+		os.Exit(cli.ExitMismatch)
 	}
 
 	var outs []mm.Output
@@ -134,18 +133,18 @@ func main() {
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "mmrun: unknown engine %q\n", *engine)
-		os.Exit(2)
+		os.Exit(cli.ExitMismatch)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmrun: %v\n", err)
-		os.Exit(1)
+		os.Exit(cli.ExitFailure)
 	}
 
 	matching := graph.MatchingEdges(g, outs)
 	if *dot {
 		if err := g.DOT(os.Stdout, nil, matching); err != nil {
 			fmt.Fprintf(os.Stderr, "mmrun: %v\n", err)
-			os.Exit(1)
+			os.Exit(cli.ExitFailure)
 		}
 		return
 	}
@@ -161,7 +160,7 @@ func main() {
 	}
 	if err := graph.CheckMatching(g, outs); err != nil {
 		fmt.Fprintf(os.Stderr, "mmrun: INVALID OUTPUT: %v\n", err)
-		os.Exit(1)
+		os.Exit(cli.ExitFailure)
 	}
 	fmt.Println("validated: maximal matching (M1–M3 hold)")
 }

@@ -1,0 +1,108 @@
+// Command mmserve is the matching-as-a-service daemon: the sweep,
+// contract and bounds-check machinery of mmsweep behind an HTTP/JSON API,
+// serving both generated scenario grids and client-submitted graphs.
+//
+//	mmserve -addr 127.0.0.1:8091
+//	curl -s localhost:8091/v1/scenarios
+//	curl -s -X POST localhost:8091/v1/graphs -d '{"n":4,"k":2,"edges":[[0,1,1],[1,2,2],[2,3,1],[3,0,2]]}'
+//	curl -sN -X POST localhost:8091/v1/sweep -d '{"grids":["regular:n=256..1024"],"algos":["greedy"],"check_bounds":true}'
+//
+// Sweep responses stream NDJSON — one row per cell as it finishes, a
+// {"done":true,…} trailer on success. Submitted graphs are validated
+// through the CSR builder and stored under a content address; built
+// instances are cached across requests, so repeated sweeps on hot graphs
+// skip construction (GET /healthz shows the hit counters). Responses are
+// reproducible: a request without a seed gets one derived from its own
+// content, so identical requests return byte-identical bodies.
+//
+// SIGTERM/SIGINT drain gracefully: new sweeps are refused with 503,
+// in-flight sweeps stream their remaining rows, and the process exits 0
+// once every response has completed (exit 1 if -drain-timeout expires
+// first — whole rows only, never torn ones, either way). See
+// internal/serve for the API and concurrency contract.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8091", "listen address")
+	maxSweeps := flag.Int("max-sweeps", 0, "concurrent sweep requests; extra requests get 503 (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache-entries", sweep.DefaultCacheEntries, "built instances kept in the shared LRU cache")
+	maxGraphs := flag.Int("max-graphs", serve.DefaultMaxGraphs, "submitted graphs held in the store (hard cap, not an eviction)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "on SIGTERM, wait this long for in-flight sweeps to finish streaming")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "mmserve: unexpected arguments %q\n", flag.Args())
+		return cli.ExitMismatch
+	}
+
+	logger := log.New(os.Stderr, "mmserve: ", log.LstdFlags)
+	srv := serve.NewServer(serve.Options{
+		MaxSweeps:    *maxSweeps,
+		CacheEntries: *cacheEntries,
+		MaxGraphs:    *maxGraphs,
+		Log:          logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Printf("%v", err)
+		return cli.ExitFailure
+	}
+	// The ready line carries the resolved address (":0" binds an ephemeral
+	// port); the smoke tests wait for it before sending requests.
+	logger.Printf("listening on http://%s", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler(), ErrorLog: logger}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-serveErr:
+		// Serve only returns on listener failure here; Shutdown's
+		// ErrServerClosed is consumed on the signal path.
+		logger.Printf("serve: %v", err)
+		return cli.ExitFailure
+	case sig := <-sigc:
+		// Drain: refuse new sweeps, let in-flight responses finish.
+		// Shutdown returns once every active request has completed, so a
+		// nil error here means no sweep was cut off mid-stream.
+		logger.Printf("%v: draining (in-flight sweeps finish, new work refused)", sig)
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			logger.Printf("drain: %v", err)
+			return cli.ExitFailure
+		}
+		if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) && err != nil {
+			logger.Printf("serve: %v", err)
+			return cli.ExitFailure
+		}
+		logger.Printf("drained cleanly")
+		return cli.ExitOK
+	}
+}

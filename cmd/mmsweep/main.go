@@ -58,31 +58,23 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
-	"repro/internal/gen"
+	"repro/internal/cli"
 	"repro/internal/sweep"
 	"repro/internal/sweep/shard"
 )
-
-// gridFlag collects repeated -grid flags.
-type gridFlag []string
-
-func (g *gridFlag) String() string     { return strings.Join(*g, "; ") }
-func (g *gridFlag) Set(v string) error { *g = append(*g, v); return nil }
 
 func main() {
 	os.Exit(run())
 }
 
 func run() int {
-	var grids gridFlag
+	var grids cli.StringList
 	flag.Var(&grids, "grid", "grid spec name[:param=values,…] with ranges (repeatable); \"all\" sweeps every family, \"list\" prints the registry")
 	algos := flag.String("algo", "greedy", "comma-separated algorithms: greedy, reduced, proposal, bipartite, or \"all\"")
 	seeds := flag.Int("seeds", 1, "seeded repetitions per cell")
@@ -115,10 +107,8 @@ func run() int {
 	for _, spec := range grids {
 		switch spec {
 		case "list":
-			for _, s := range gen.All() {
-				fmt.Printf("%-16s %s\n  defaults: %s\n", s.Name, s.Doc, s.Params)
-			}
-			return 0
+			cli.PrintScenarios(os.Stdout)
+			return cli.ExitOK
 		case "all":
 			cfg.Grids = append(cfg.Grids, sweep.DefaultGrids()...)
 		default:
@@ -127,18 +117,18 @@ func run() int {
 	}
 	if len(cfg.Grids) == 0 {
 		fmt.Fprintln(os.Stderr, "mmsweep: no -grid given (try -grid all or -grid list)")
-		return 2
+		return cli.ExitMismatch
 	}
 	if *algos == "all" {
 		cfg.Algos = sweep.AlgoNames()
 	} else {
-		cfg.Algos = strings.Split(*algos, ",")
+		cfg.Algos = cli.SplitList(*algos)
 	}
 
 	cells, err := sweep.Expand(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-		return 2
+		return cli.ExitMismatch
 	}
 
 	// Sharded modes: mutually exclusive, and all need a real -out file to
@@ -151,11 +141,11 @@ func run() int {
 	}
 	if modes > 1 {
 		fmt.Fprintln(os.Stderr, "mmsweep: -shard, -supervise and -merge are mutually exclusive")
-		return 2
+		return cli.ExitMismatch
 	}
 	if modes == 1 && *out == "-" {
 		fmt.Fprintln(os.Stderr, "mmsweep: sharded modes need -out pointing at a file (shard paths derive from it)")
-		return 2
+		return cli.ExitMismatch
 	}
 	switch {
 	case *shardSpec != "":
@@ -176,25 +166,21 @@ func run() int {
 	if *out == "-" {
 		if *resume {
 			fmt.Fprintln(os.Stderr, "mmsweep: -resume needs -out pointing at a file")
-			return 2
+			return cli.ExitMismatch
 		}
 	} else {
 		f, err := openOut(*out, *resume, &cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-			return classify(err)
+			return cli.Classify(err)
 		}
-		bw := bufio.NewWriter(f) // JSONLSink flushes it after every row
-		jsonlSink = sweep.NewJSONLSink(bw).WithSync(f)
+		// Buffered, fsync-on-close: JSONLSink flushes the buffer after
+		// every row, and Close syncs the rows to stable storage before the
+		// sweep reports complete.
+		o := cli.WrapOut(f)
+		jsonlSink = sweep.NewJSONLSink(o.Writer()).WithSync(o)
 		tableW = os.Stdout
-		flushClose = func() error {
-			// Sync, not just flush: the rows must be on stable storage
-			// before we report the sweep complete.
-			if err := jsonlSink.Sync(); err != nil {
-				return err
-			}
-			return f.Close()
-		}
+		flushClose = o.Close
 	}
 	if n := len(cfg.Completed); n > 0 {
 		fmt.Fprintf(os.Stderr, "mmsweep: %d cells (%d already complete, resuming)\n", cells, n)
@@ -216,16 +202,16 @@ func run() int {
 		// configuration mismatch (exit 2, field and offset in the message)
 		// is different: resuming cannot fix it.
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-		if code := classify(err); code == 2 {
+		if code := cli.Classify(err); code == cli.ExitMismatch {
 			return code
 		}
 		fmt.Fprintf(os.Stderr, "mmsweep: %d rows written before the failure; -resume continues from them\n", stats.Emitted)
-		return 1
+		return cli.ExitFailure
 	}
 
 	if err := agg.RenderTable(tableW); err != nil {
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-		return 1
+		return cli.ExitFailure
 	}
 	if stats.SkippedResume > 0 {
 		fmt.Fprintf(tableW, "resumed: table covers the %d newly-run cells; %d rows were already complete\n",
@@ -238,11 +224,11 @@ func run() int {
 			for _, v := range vio.Lines {
 				fmt.Fprintf(os.Stderr, "  %s\n", v)
 			}
-			return 1
+			return cli.ExitFailure
 		}
 		fmt.Fprintln(tableW, "bounds: all communication contracts hold")
 	}
-	return 0
+	return cli.ExitOK
 }
 
 // openOut prepares the JSONL output file. Fresh runs create or truncate;

@@ -1,38 +1,17 @@
 package main
 
 import (
-	"bufio"
 	"context"
-	"errors"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/sweep"
 	"repro/internal/sweep/shard"
 )
-
-// Exit codes. The distinction between 1 and 2 is load-bearing: a supervisor
-// classifies exit 2 as permanent (restarting reruns the same refusal) and
-// stops retrying, while exit 1 is worth a backed-off restart.
-const (
-	exitOK       = 0
-	exitFailure  = 1 // sweep failure, violations, I/O errors
-	exitMismatch = 2 // configuration mismatch or bad usage
-)
-
-// classify maps a failure to its exit code: configuration mismatches
-// (sweep.MismatchError, or anything the supervisor already classified
-// permanent) exit 2, everything else exits 1.
-func classify(err error) int {
-	var mm *sweep.MismatchError
-	if errors.As(err, &mm) || shard.IsPermanent(err) {
-		return exitMismatch
-	}
-	return exitFailure
-}
 
 // runShard executes one shard worker: the cfg's canonical cell order is
 // partitioned len-ways by the spec, and this process streams its contiguous
@@ -42,7 +21,7 @@ func runShard(cfg sweep.Config, out, spec string, attempt, livenessFD int) int {
 	sp, err := shard.ParseSpec(spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-		return exitMismatch
+		return cli.ExitMismatch
 	}
 	cfg.Shard = &sp
 	var beat func()
@@ -56,7 +35,7 @@ func runShard(cfg sweep.Config, out, spec string, attempt, livenessFD int) int {
 	inj, err := chaosInjector(cfg.Seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-		return exitMismatch
+		return cli.ExitMismatch
 	}
 	path := shard.Path(out, sp.Index, sp.Count)
 	stats, err := shard.RunWorker(context.Background(), cfg, path, shard.WorkerOptions{
@@ -66,11 +45,11 @@ func runShard(cfg sweep.Config, out, spec string, attempt, livenessFD int) int {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmsweep: shard %s: %v\n", sp, err)
-		return classify(err)
+		return cli.Classify(err)
 	}
 	fmt.Fprintf(os.Stderr, "mmsweep: shard %s: %d rows (%d already complete) -> %s\n",
 		sp, stats.Emitted, stats.SkippedResume, path)
-	return exitOK
+	return cli.ExitOK
 }
 
 // runSupervise fork/execs n shard workers of this same binary and keeps
@@ -83,7 +62,7 @@ func runSupervise(cfg sweep.Config, out string, n int, lease time.Duration, maxA
 	bin, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-		return exitFailure
+		return cli.ExitFailure
 	}
 	// Workers re-run this invocation's flags minus the supervision flags,
 	// plus their shard assignment; -chaos (when compiled in) passes through,
@@ -110,7 +89,7 @@ func runSupervise(cfg sweep.Config, out string, n int, lease time.Duration, maxA
 	if err := sup.Run(context.Background()); err != nil {
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
 		fmt.Fprintln(os.Stderr, "mmsweep: shard files keep their completed rows; re-running resumes from them")
-		return classify(err)
+		return cli.Classify(err)
 	}
 	return runMerge(cfg, out, n)
 }
@@ -120,43 +99,38 @@ func runSupervise(cfg sweep.Config, out string, n int, lease time.Duration, maxA
 // violations sinks so a supervised run reports exactly what a
 // single-process run would have.
 func runMerge(cfg sweep.Config, out string, n int) int {
-	f, err := os.Create(out)
+	o, err := cli.CreateOut(out)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-		return exitFailure
+		return cli.ExitFailure
 	}
-	bw := bufio.NewWriter(f)
-	rows, err := shard.Merge(bw, cfg, shard.Paths(out, n))
-	if err == nil {
-		err = bw.Flush()
-	}
-	if err == nil {
-		err = f.Sync() // the merged artefact is the durable deliverable
-	}
-	if cerr := f.Close(); cerr != nil && err == nil {
+	// Close flushes and fsyncs: the merged artefact is the durable
+	// deliverable.
+	rows, err := shard.Merge(o.Writer(), cfg, shard.Paths(out, n))
+	if cerr := o.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmsweep: merge: %v\n", err)
-		return classify(err)
+		return cli.Classify(err)
 	}
 	fmt.Fprintf(os.Stderr, "mmsweep: merged %d rows from %d shards -> %s\n", rows, n, out)
 
 	rf, err := os.Open(out)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-		return exitFailure
+		return cli.ExitFailure
 	}
 	defer rf.Close()
 	var agg sweep.AggregateSink
 	var vio sweep.ViolationsSink
 	if _, err := sweep.DecodeRows(rf, sweep.MultiSink(&agg, &vio)); err != nil {
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-		return exitFailure
+		return cli.ExitFailure
 	}
 	if err := agg.RenderTable(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-		return exitFailure
+		return cli.ExitFailure
 	}
 	if cfg.CheckBounds {
 		if len(vio.Lines) > 0 {
@@ -164,11 +138,11 @@ func runMerge(cfg sweep.Config, out string, n int) int {
 			for _, v := range vio.Lines {
 				fmt.Fprintf(os.Stderr, "  %s\n", v)
 			}
-			return exitFailure
+			return cli.ExitFailure
 		}
 		fmt.Fprintln(os.Stdout, "bounds: all communication contracts hold")
 	}
-	return exitOK
+	return cli.ExitOK
 }
 
 // stripFlags removes the named flags (with their values, in both "-name v"

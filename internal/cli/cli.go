@@ -1,0 +1,120 @@
+// Package cli is the shared plumbing of the cmd/ binaries: the exit-code
+// contract, repeatable list flags, scenario-registry listing, and the
+// buffered fsync-on-close output file. mmrun, mmsweep and mmserve all
+// speak through it, so the conventions stay identical across tools.
+//
+// The exit-code contract is load-bearing for supervisors (human and
+// programmatic): 0 is success, 1 is a failure that a retry or -resume may
+// fix (sweep errors, I/O errors, contract violations), and 2 is a
+// configuration mismatch or usage error that retrying cannot fix — a
+// supervisor that sees 2 must stop restarting.
+package cli
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/sweep"
+	"repro/internal/sweep/shard"
+)
+
+// The exit codes every cmd/ binary maps its outcomes onto.
+const (
+	ExitOK       = 0
+	ExitFailure  = 1 // runtime failure; retry or -resume may succeed
+	ExitMismatch = 2 // configuration mismatch or bad usage; retrying cannot fix it
+)
+
+// Classify maps an error to its exit code: configuration mismatches
+// (sweep.MismatchError, or anything the shard supervisor already
+// classified permanent) exit ExitMismatch, everything else ExitFailure.
+func Classify(err error) int {
+	var mm *sweep.MismatchError
+	if errors.As(err, &mm) || shard.IsPermanent(err) {
+		return ExitMismatch
+	}
+	return ExitFailure
+}
+
+// StringList collects a repeatable string flag (flag.Var), e.g. mmsweep's
+// -grid.
+type StringList []string
+
+// String implements flag.Value.
+func (l *StringList) String() string { return strings.Join(*l, "; ") }
+
+// Set implements flag.Value.
+func (l *StringList) Set(v string) error { *l = append(*l, v); return nil }
+
+// SplitList splits a comma-separated flag value into its non-empty parts.
+func SplitList(v string) []string {
+	var out []string
+	for _, p := range strings.Split(v, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PrintScenarios writes the scenario registry listing shared by mmrun
+// -scenario list and mmsweep -grid list: one family per line with its doc
+// string and parameter defaults.
+func PrintScenarios(w io.Writer) {
+	for _, s := range gen.All() {
+		fmt.Fprintf(w, "%-16s %s\n  defaults: %s\n", s.Name, s.Doc, s.Params)
+	}
+}
+
+// OutFile is a buffered output file with the durability contract the
+// streaming tools share: writes go through a bufio.Writer (which
+// sweep.JSONLSink flushes per row, so a killed process leaves complete
+// rows on disk), and Close flushes AND fsyncs before closing — the file is
+// on stable storage before the process reports success.
+type OutFile struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// CreateOut creates (or truncates) path as a buffered fsync-on-close
+// output file.
+func CreateOut(path string) (*OutFile, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return WrapOut(f), nil
+}
+
+// WrapOut wraps an already-positioned file (e.g. one opened and seeked by
+// resume recovery) in the buffered fsync-on-close contract.
+func WrapOut(f *os.File) *OutFile {
+	return &OutFile{f: f, bw: bufio.NewWriter(f)}
+}
+
+// Writer returns the buffered writer rows are encoded into; it implements
+// the Flush hook sweep.JSONLSink drives per row.
+func (o *OutFile) Writer() *bufio.Writer { return o.bw }
+
+// Sync implements sweep.Syncer: flush the buffer, then fsync the file.
+func (o *OutFile) Sync() error {
+	if err := o.bw.Flush(); err != nil {
+		return err
+	}
+	return o.f.Sync()
+}
+
+// Close flushes, fsyncs and closes. It is safe to report success only
+// after Close returns nil.
+func (o *OutFile) Close() error {
+	err := o.Sync()
+	if cerr := o.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,96 @@
+package cli
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sweep"
+)
+
+func TestClassify(t *testing.T) {
+	if got := Classify(errors.New("transient")); got != ExitFailure {
+		t.Fatalf("plain error → %d, want %d", got, ExitFailure)
+	}
+	mm := &sweep.MismatchError{Field: "seed", Want: "1", Got: "2"}
+	if got := Classify(mm); got != ExitMismatch {
+		t.Fatalf("MismatchError → %d, want %d", got, ExitMismatch)
+	}
+	// Wrapped mismatches classify too — callers wrap with context.
+	if got := Classify(errors.Join(errors.New("ctx"), mm)); got != ExitMismatch {
+		t.Fatalf("wrapped MismatchError → %d, want %d", got, ExitMismatch)
+	}
+}
+
+func TestStringList(t *testing.T) {
+	var l StringList
+	for _, v := range []string{"a", "b"} {
+		if err := l.Set(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(l) != 2 || l[0] != "a" || l[1] != "b" || l.String() != "a; b" {
+		t.Fatalf("StringList = %#v (%q)", l, l.String())
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := SplitList("greedy, reduced,,proposal"); len(got) != 3 || got[2] != "proposal" {
+		t.Fatalf("SplitList = %#v", got)
+	}
+	if got := SplitList(""); got != nil {
+		t.Fatalf("SplitList(\"\") = %#v, want nil", got)
+	}
+}
+
+func TestPrintScenariosCoversRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	PrintScenarios(&buf)
+	for _, name := range gen.Names() {
+		if !strings.Contains(buf.String(), name) {
+			t.Fatalf("registry listing misses %q", name)
+		}
+	}
+}
+
+func TestOutFileFlushSyncClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	o, err := CreateOut(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Writer().WriteString("row\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Sync pushes buffered bytes all the way to the file.
+	if err := o.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "row\n" {
+		t.Fatalf("after Sync file holds %q", b)
+	}
+	if _, err := o.Writer().WriteString("tail\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = os.ReadFile(path)
+	if string(b) != "row\ntail\n" {
+		t.Fatalf("after Close file holds %q", b)
+	}
+}
+
+// TestOutFileIsSyncer pins that OutFile satisfies the sink durability hook
+// mmsweep registers (sweep.JSONLSink.WithSync).
+func TestOutFileIsSyncer(t *testing.T) {
+	var _ sweep.Syncer = (*OutFile)(nil)
+}

@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"testing"
+)
+
+// TestInstanceIDRoundTrip pins the canonical instance address: it renders
+// from (scenario, params, seed) and parses back to exactly those values,
+// for integral, fractional and empty parameter sets.
+func TestInstanceIDRoundTrip(t *testing.T) {
+	cases := []struct {
+		scenario string
+		params   Params
+		seed     int64
+	}{
+		{"regular", Params{"n": 128, "k": 4}, 1},
+		{"matching-union", Params{"n": 65536, "k": 1024, "density": 0.8}, -7},
+		{"worstcase", Params{"k": 6}, 0},
+		{"graph-00112233445566778899aabbccddeeff", Params{"n": 8, "k": 3}, 42},
+		{"caterpillar", Params{}, 9},
+	}
+	for _, c := range cases {
+		id := InstanceID(c.scenario, c.params, c.seed)
+		scenario, params, seed, err := ParseInstanceID(id)
+		if err != nil {
+			t.Fatalf("ParseInstanceID(%q): %v", id, err)
+		}
+		if scenario != c.scenario || seed != c.seed {
+			t.Fatalf("ParseInstanceID(%q) = (%q, %d), want (%q, %d)", id, scenario, seed, c.scenario, c.seed)
+		}
+		if params.String() != c.params.String() {
+			t.Fatalf("ParseInstanceID(%q) params %q, want %q", id, params.String(), c.params.String())
+		}
+		// The address must be reproducible: rendering twice gives one string.
+		if again := InstanceID(c.scenario, c.params, c.seed); again != id {
+			t.Fatalf("InstanceID not deterministic: %q then %q", id, again)
+		}
+	}
+}
+
+// TestInstanceIDAgreesWithSpecSyntax pins that the address's scenario:params
+// half is exactly the spec DSL rendering, so a cell ID, a cache key and a
+// -scenario flag all speak one syntax.
+func TestInstanceIDAgreesWithSpecSyntax(t *testing.T) {
+	p := Params{"n": 256, "k": 8}
+	id := InstanceID("regular", p, 3)
+	want := "regular:" + p.String() + "@3"
+	if id != want {
+		t.Fatalf("InstanceID = %q, want %q", id, want)
+	}
+	// And that half re-parses through the ordinary spec parser.
+	s, overrides, err := Parse("regular:" + p.String())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Name != "regular" || overrides.String() != p.String() {
+		t.Fatalf("spec half did not round-trip through Parse: %q / %q", s.Name, overrides.String())
+	}
+}
+
+func TestParseInstanceIDRejectsMalformed(t *testing.T) {
+	for _, id := range []string{
+		"",                  // nothing
+		"regular:n=128",     // no seed
+		"regular:n=128@x",   // bad seed
+		":n=128@1",          // no scenario
+		"regular:n@1",       // malformed parameter
+		"regular:n=zebra@1", // non-numeric value
+	} {
+		if _, _, _, err := ParseInstanceID(id); err == nil {
+			t.Fatalf("ParseInstanceID(%q) accepted malformed input", id)
+		}
+	}
+}
+
+// TestEdgeListIDCanonical pins the content address's invariances: edge
+// order and endpoint order do not matter, every content change does.
+func TestEdgeListIDCanonical(t *testing.T) {
+	base := EdgeListID(4, 2, [][3]int{{0, 1, 1}, {2, 3, 1}, {1, 2, 2}})
+	if !IsGraphID(base) {
+		t.Fatalf("EdgeListID %q does not carry the graph prefix", base)
+	}
+	// Reordered edges, swapped endpoints: same graph, same address.
+	same := EdgeListID(4, 2, [][3]int{{2, 1, 2}, {3, 2, 1}, {1, 0, 1}})
+	if same != base {
+		t.Fatalf("EdgeListID not canonical: %q vs %q", base, same)
+	}
+	// Any content change moves the address.
+	for name, other := range map[string]string{
+		"different colour": EdgeListID(4, 2, [][3]int{{0, 1, 2}, {2, 3, 1}, {1, 2, 2}}),
+		"different edge":   EdgeListID(4, 2, [][3]int{{0, 1, 1}, {2, 3, 1}, {0, 2, 2}}),
+		"fewer edges":      EdgeListID(4, 2, [][3]int{{0, 1, 1}, {2, 3, 1}}),
+		"different n":      EdgeListID(5, 2, [][3]int{{0, 1, 1}, {2, 3, 1}, {1, 2, 2}}),
+		"different k":      EdgeListID(4, 3, [][3]int{{0, 1, 1}, {2, 3, 1}, {1, 2, 2}}),
+	} {
+		if other == base {
+			t.Fatalf("EdgeListID collision under %s", name)
+		}
+	}
+}
+
+func TestIsGraphID(t *testing.T) {
+	if IsGraphID("regular") {
+		t.Fatal("scenario name classified as graph ID")
+	}
+	if !IsGraphID(GraphIDPrefix + "abc") {
+		t.Fatal("graph address not classified as graph ID")
+	}
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// benchPost sends one sweep request and drains the streamed body, failing
+// on transport or protocol errors.
+func benchPost(b *testing.B, url string, req SweepRequest) int64 {
+	b.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+	return n
+}
+
+// BenchmarkServeSweepLatency measures one-cell request latency through the
+// full HTTP path. cache-miss forces a fresh instance build per request
+// (the seed varies, so every spec is a new cache key); cache-hit repeats
+// one warmed request, so the handler serves the stored CSR blob and the
+// difference between the two is what the content-addressed cache saves.
+func BenchmarkServeSweepLatency(b *testing.B) {
+	req := SweepRequest{Grids: []string{"regular:n=4096,k=4"}, Algos: []string{"greedy"}}
+	for _, mode := range []string{"cache-miss", "cache-hit"} {
+		b.Run(mode, func(b *testing.B) {
+			s := NewServer(Options{Log: log.New(io.Discard, "", 0), CacheEntries: b.N + 1})
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			r := req
+			r.Seed = 1
+			benchPost(b, ts.URL, r) // warm: resident instance for the hit path
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if mode == "cache-miss" {
+					r.Seed = int64(i) + 2 // fresh key every request
+				}
+				benchPost(b, ts.URL, r)
+			}
+			b.StopTimer()
+			st := s.CacheStats()
+			if mode == "cache-hit" && st.Hits < int64(b.N) {
+				b.Fatalf("hit path missed the cache: %+v", st)
+			}
+		})
+	}
+}
+
+// BenchmarkServeRowsThroughput compares rows/sec of a many-row sweep
+// streamed over HTTP (rows encoded, flushed per row, carried over TCP)
+// against the same Config driven directly through sweep.Stream into a
+// discarded JSONL sink — the serving overhead per row.
+func BenchmarkServeRowsThroughput(b *testing.B) {
+	req := SweepRequest{
+		Grids: []string{"path:n=8..128,k=2"},
+		Algos: []string{"greedy", "proposal"},
+		Reps:  10,
+		Seed:  1,
+	}
+	cfg := sweep.Config{Grids: req.Grids, Algos: req.Algos, Reps: req.Reps, Seed: req.Seed}
+	cells, err := sweep.Expand(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("http", func(b *testing.B) {
+		s := NewServer(Options{Log: log.New(io.Discard, "", 0)})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		benchPost(b, ts.URL, req) // warm the instance cache: measure serving, not building
+		b.ResetTimer()
+		var bytesOut int64
+		for i := 0; i < b.N; i++ {
+			bytesOut += benchPost(b, ts.URL, req)
+		}
+		reportRows(b, cells, bytesOut)
+	})
+	b.Run("direct", func(b *testing.B) {
+		c := cfg
+		c.Provider = sweep.NewCachingProvider(sweep.RegistryProvider{}, 0)
+		sink := sweep.NewJSONLSink(io.Discard)
+		if _, err := sweep.Stream(context.Background(), c, sink); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sweep.Stream(context.Background(), c, sink); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportRows(b, cells, 0)
+	})
+}
+
+func reportRows(b *testing.B, cells int, bytesOut int64) {
+	rows := float64(cells) * float64(b.N)
+	b.ReportMetric(rows/b.Elapsed().Seconds(), "rows/s")
+	if bytesOut > 0 {
+		b.ReportMetric(float64(bytesOut)/float64(b.N), "respB/op")
+	}
+}

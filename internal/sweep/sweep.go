@@ -73,6 +73,28 @@ type Config struct {
 	// verifies exactly that). Completed/CompletedSeeds compose with Shard:
 	// resume filtering applies within the shard's range.
 	Shard *ShardSpec
+	// Instances names fixed, provider-resolved instances to sweep in
+	// addition to (or instead of) the generated Grids: each ref crosses
+	// with Algos × Reps exactly like a one-cell grid, in canonical order
+	// after all grid cells. The serving layer routes client-submitted
+	// graphs through here. Refs beyond the registry need a Provider that
+	// resolves their IDs.
+	Instances []InstanceRef
+	// Provider supplies built instances to the cells; nil means the gen
+	// scenario registry (RegistryProvider), which resolves generated
+	// families only. A serving stack injects a caching provider chained
+	// over a submitted-graph store and the registry.
+	Provider InstanceProvider
+}
+
+// InstanceRef names one fixed instance in Config.Instances: the provider-
+// scoped address (for submitted graphs, the gen.EdgeListID content hash)
+// plus the descriptive parameters its rows record. Params must be non-empty
+// — rows need identity fields for the resume machinery — and for submitted
+// graphs they carry the instance's observable shape (n, k).
+type InstanceRef struct {
+	ID     string
+	Params gen.Params
 }
 
 // ShardSpec names one shard of a sharded sweep: shard Index of Count.
@@ -168,18 +190,21 @@ func (r *Result) ID() string {
 	return fmt.Sprintf("%s:%s/%s/rep%d", r.Scenario, r.Params, r.Algo, r.Rep)
 }
 
-// cell is one unit of work in the expanded grid.
+// cell is one unit of work in the expanded grid. It names its instance by
+// scenario string and canonical params — never by a resolved gen.Scenario —
+// so the same driver machinery runs registry families and provider-resolved
+// submitted graphs alike.
 type cell struct {
-	sc     gen.Scenario
-	params gen.Params
-	algo   Algo
-	rep    int
+	scenario string
+	params   gen.Params
+	algo     Algo
+	rep      int
 }
 
 // id is the cell's canonical identity — identical to the Result.ID of its
 // row, which is how resume matches existing JSONL rows back to cells.
 func (c cell) id() string {
-	return fmt.Sprintf("%s:%s/%s/rep%d", c.sc.Name, c.params.String(), c.algo.Name, c.rep)
+	return fmt.Sprintf("%s:%s/%s/rep%d", c.scenario, c.params.String(), c.algo.Name, c.rep)
 }
 
 // Expand resolves a Config into its cell list without running anything:
@@ -217,13 +242,28 @@ func expand(cfg Config) ([]cell, error) {
 		for _, params := range grid {
 			for _, a := range algos {
 				for rep := 0; rep < reps; rep++ {
-					cells = append(cells, cell{sc: sc, params: params, algo: a, rep: rep})
+					cells = append(cells, cell{scenario: sc.Name, params: params, algo: a, rep: rep})
 				}
 			}
 		}
 	}
+	for _, ref := range cfg.Instances {
+		if ref.ID == "" {
+			return nil, fmt.Errorf("sweep: instance ref with empty ID")
+		}
+		if len(ref.Params) == 0 {
+			// Rows must carry identity fields (scenario AND params) for the
+			// resume machinery to reconstruct their cells.
+			return nil, fmt.Errorf("sweep: instance %s has no params (rows need identity fields — record at least the shape, e.g. n and k)", ref.ID)
+		}
+		for _, a := range algos {
+			for rep := 0; rep < reps; rep++ {
+				cells = append(cells, cell{scenario: ref.ID, params: ref.Params, algo: a, rep: rep})
+			}
+		}
+	}
 	if len(cells) == 0 {
-		return nil, fmt.Errorf("sweep: empty sweep (no grids)")
+		return nil, fmt.Errorf("sweep: empty sweep (no grids or instances)")
 	}
 	return cells, nil
 }
@@ -262,26 +302,27 @@ func releasePerRound(r *Result) {
 // given (family, params, rep), and reordering or extending the grid never
 // reshuffles instances.
 func cellSeed(cfg Config, c cell) int64 {
-	return gen.SubSeed(cfg.Seed, c.sc.Name, c.params.String(), strconv.Itoa(c.rep))
+	return gen.SubSeed(cfg.Seed, c.scenario, c.params.String(), strconv.Itoa(c.rep))
 }
 
-// runCell builds and executes one cell.
+// runCell builds and executes one cell. The instance comes through the
+// configured InstanceProvider — generated, looked up in a store, or served
+// from a cache — and may be shared with concurrent cells, so it is strictly
+// read-only here.
 func runCell(cfg Config, c cell) (Result, error) {
 	res := Result{
-		Scenario: c.sc.Name,
+		Scenario: c.scenario,
 		Params:   c.params.String(),
 		Algo:     c.algo.Name,
 		Rep:      c.rep,
 		Seed:     cellSeed(cfg, c),
 	}
-	var inst *gen.Instance
-	var err error
+	spec := InstanceSpec{Scenario: c.scenario, Params: c.params, Seed: res.Seed}
 	if cfg.BuildWorkers >= 1 {
 		res.Builder = "sharded"
-		inst, err = c.sc.BuildParallel(res.Seed, c.params, cfg.BuildWorkers)
-	} else {
-		inst, err = c.sc.Build(res.Seed, c.params)
+		spec.BuildWorkers = cfg.BuildWorkers
 	}
+	inst, err := cfg.provider().Instance(spec)
 	if err != nil {
 		return res, fmt.Errorf("sweep: %s: %w", res.ID(), err)
 	}
