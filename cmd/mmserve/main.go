@@ -30,12 +30,14 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only via -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sweep"
 )
@@ -50,6 +52,8 @@ func run() int {
 	cacheEntries := flag.Int("cache-entries", sweep.DefaultCacheEntries, "built instances kept in the shared LRU cache")
 	maxGraphs := flag.Int("max-graphs", serve.DefaultMaxGraphs, "submitted graphs held in the store (hard cap, not an eviction)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "on SIGTERM, wait this long for in-flight sweeps to finish streaming")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060; empty = off)")
+	traceFile := flag.String("trace", "", "write one JSON span line per request and sweep-cell step to this file")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "mmserve: unexpected arguments %q\n", flag.Args())
@@ -57,12 +61,40 @@ func run() int {
 	}
 
 	logger := log.New(os.Stderr, "mmserve: ", log.LstdFlags)
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tf, err := os.Create(*traceFile)
+		if err != nil {
+			logger.Printf("%v", err)
+			return cli.ExitFailure
+		}
+		defer tf.Close()
+		tracer = obs.NewTracer(tf)
+	}
 	srv := serve.NewServer(serve.Options{
 		MaxSweeps:    *maxSweeps,
 		CacheEntries: *cacheEntries,
 		MaxGraphs:    *maxGraphs,
 		Log:          logger,
+		Trace:        tracer,
 	})
+
+	if *pprofAddr != "" {
+		// The profiler gets its own listener, never the API port: the pprof
+		// import registers on http.DefaultServeMux, which the API handler
+		// does not serve, so profiling stays opt-in and separately bindable.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			logger.Printf("pprof: %v", err)
+			return cli.ExitFailure
+		}
+		logger.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -65,6 +65,7 @@ import (
 	"os"
 
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/sweep/shard"
 )
@@ -93,6 +94,9 @@ func run() int {
 	mergeN := flag.Int("merge", 0, "merge N existing shard files of this sweep into -out, verifying canonical order")
 	leaseTimeout := flag.Duration("lease-timeout", shard.DefaultLeaseTimeout, "kill a supervised worker making no visible progress for this long")
 	maxAttempts := flag.Int("max-attempts", shard.DefaultMaxAttempts, "abandon a shard after this many worker launches")
+	progress := flag.Duration("progress", 0, "print a cells-done/rows-per-second/ETA line to stderr at this interval (0 = off)")
+	traceFile := flag.String("trace", "", "write one JSON span line per resolve/run/emit step to this file")
+	metricsOut := flag.String("metrics-out", "", "on exit, write the run's metrics (Prometheus text format) to this file")
 	flag.Parse()
 
 	cfg := sweep.Config{
@@ -131,6 +135,39 @@ func run() int {
 		return cli.ExitMismatch
 	}
 
+	// Observability: one registry backs -progress, -metrics-out and (in
+	// supervise mode) the shard fault history; -trace is an independent
+	// span stream. All of it is optional — an uninstrumented run carries
+	// nil handles and pays nothing.
+	var reg *obs.Registry
+	if *progress > 0 || *metricsOut != "" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = sweep.NewMetrics(reg)
+	}
+	if *traceFile != "" {
+		tf, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+			return cli.ExitFailure
+		}
+		defer tf.Close()
+		cfg.Tracer = obs.NewTracer(tf)
+	}
+	// finish dumps -metrics-out (whatever the exit path) and maps a dump
+	// failure on an otherwise clean run to exit 1.
+	finish := func(code int) int {
+		if *metricsOut == "" || reg == nil {
+			return code
+		}
+		if err := writeMetricsOut(*metricsOut, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+			if code == cli.ExitOK {
+				return cli.ExitFailure
+			}
+		}
+		return code
+	}
+
 	// Sharded modes: mutually exclusive, and all need a real -out file to
 	// derive shard paths from.
 	modes := 0
@@ -149,11 +186,16 @@ func run() int {
 	}
 	switch {
 	case *shardSpec != "":
-		return runShard(cfg, *out, *shardSpec, *attempt, *livenessFD)
+		if *progress > 0 && cfg.Metrics != nil {
+			defer cfg.Metrics.StartProgress(os.Stderr, *progress)()
+		}
+		return finish(runShard(cfg, *out, *shardSpec, *attempt, *livenessFD))
 	case *supervise > 0:
-		return runSupervise(cfg, *out, *supervise, *leaseTimeout, *maxAttempts)
+		// The supervisor itself streams nothing; its registry records the
+		// shard fault history (restarts, lease expiries, backoff).
+		return finish(runSupervise(cfg, *out, *supervise, *leaseTimeout, *maxAttempts, reg))
 	case *mergeN > 0:
-		return runMerge(cfg, *out, *mergeN)
+		return finish(runMerge(cfg, *out, *mergeN))
 	}
 
 	// Destination: stdout, or a file created/truncated UP FRONT so even a
@@ -188,9 +230,15 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "mmsweep: %d cells\n", cells)
 	}
 
+	stopProgress := func() {}
+	if *progress > 0 && cfg.Metrics != nil {
+		stopProgress = cfg.Metrics.StartProgress(os.Stderr, *progress)
+	}
+
 	var agg sweep.AggregateSink
 	var vio sweep.ViolationsSink
 	stats, err := sweep.Stream(context.Background(), cfg, sweep.MultiSink(jsonlSink, &agg, &vio))
+	stopProgress()
 	if flushClose != nil {
 		if cerr := flushClose(); cerr != nil && err == nil {
 			err = cerr
@@ -203,15 +251,15 @@ func run() int {
 		// is different: resuming cannot fix it.
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
 		if code := cli.Classify(err); code == cli.ExitMismatch {
-			return code
+			return finish(code)
 		}
 		fmt.Fprintf(os.Stderr, "mmsweep: %d rows written before the failure; -resume continues from them\n", stats.Emitted)
-		return cli.ExitFailure
+		return finish(cli.ExitFailure)
 	}
 
 	if err := agg.RenderTable(tableW); err != nil {
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
-		return cli.ExitFailure
+		return finish(cli.ExitFailure)
 	}
 	if stats.SkippedResume > 0 {
 		fmt.Fprintf(tableW, "resumed: table covers the %d newly-run cells; %d rows were already complete\n",
@@ -224,11 +272,25 @@ func run() int {
 			for _, v := range vio.Lines {
 				fmt.Fprintf(os.Stderr, "  %s\n", v)
 			}
-			return cli.ExitFailure
+			return finish(cli.ExitFailure)
 		}
 		fmt.Fprintln(tableW, "bounds: all communication contracts hold")
 	}
-	return cli.ExitOK
+	return finish(cli.ExitOK)
+}
+
+// writeMetricsOut dumps the registry to path in the Prometheus text
+// exposition format — the offline analogue of mmserve's GET /metrics.
+func writeMetricsOut(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // openOut prepares the JSONL output file. Fresh runs create or truncate;

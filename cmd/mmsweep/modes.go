@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/sweep/shard"
 )
@@ -58,7 +59,7 @@ func runShard(cfg sweep.Config, out, spec string, attempt, livenessFD int) int {
 // delays, configuration mismatches (exit 2) treated as permanent. On
 // success the shard files are merged into -out and verified byte-identical
 // to the canonical order.
-func runSupervise(cfg sweep.Config, out string, n int, lease time.Duration, maxAttempts int) int {
+func runSupervise(cfg sweep.Config, out string, n int, lease time.Duration, maxAttempts int, reg *obs.Registry) int {
 	bin, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
@@ -66,8 +67,11 @@ func runSupervise(cfg sweep.Config, out string, n int, lease time.Duration, maxA
 	}
 	// Workers re-run this invocation's flags minus the supervision flags,
 	// plus their shard assignment; -chaos (when compiled in) passes through,
-	// so injected faults land in workers, not the supervisor.
-	base := stripFlags(os.Args[1:], "supervise", "merge", "shard", "attempt", "liveness-fd")
+	// so injected faults land in workers, not the supervisor. The obs flags
+	// stay with the supervisor too — N workers sharing one -trace or
+	// -metrics-out file would clobber each other.
+	base := stripFlags(os.Args[1:], "supervise", "merge", "shard", "attempt", "liveness-fd",
+		"progress", "trace", "metrics-out")
 	ec := shard.ExecConfig{
 		Bin: bin,
 		Args: func(shardIdx, attempt int) []string {
@@ -85,6 +89,7 @@ func runSupervise(cfg sweep.Config, out string, n int, lease time.Duration, maxA
 		MaxAttempts:  maxAttempts,
 		Seed:         cfg.Seed,
 		Log:          os.Stderr,
+		Metrics:      shard.NewMetrics(reg),
 	}
 	if err := sup.Run(context.Background()); err != nil {
 		fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)

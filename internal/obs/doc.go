@@ -1,0 +1,54 @@
+// Package obs is the repo's zero-dependency observability core: counters,
+// gauges and fixed-bucket histograms behind a Registry that encodes the
+// Prometheus text exposition format, plus a lightweight JSONL span Tracer.
+// The serving daemon (internal/serve), the sweep driver (internal/sweep)
+// and the shard supervisor (internal/sweep/shard) all record into it; mmserve
+// exposes a Registry at GET /metrics and mmsweep dumps one via -metrics-out.
+//
+// # Nil safety
+//
+// Everything is a no-op on nil. A nil *Registry hands out nil metrics, and
+// every method on a nil *Counter, *Gauge, *Histogram, *Func, *Tracer or
+// zero Span returns immediately — so instrumented code paths compile to a
+// nil check when observability is off, and callers never guard a metric
+// update. This is the contract that keeps the engine hot path and the
+// existing benchmarks untouched when no registry is wired in (pinned by the
+// sweep alloc-parity test).
+//
+// # Atomicity and hot-path cost
+//
+// Counter and Gauge are single atomic words; Histogram.Observe is one
+// binary search over the bucket bounds plus two atomic adds and a CAS loop
+// for the float sum. No metric update allocates, takes a lock, or blocks —
+// safe to call from any goroutine at any rate. Registration
+// (Registry.Counter etc.) takes the registry lock and is get-or-create:
+// callers on hot paths register once and hold the handle.
+//
+// # Bucket layout stability
+//
+// A histogram's bucket bounds are fixed at first registration of its name
+// and never change; later registrations of the same name reuse the
+// existing layout (per-name layout is what makes the `le` series of one
+// family align). DefaultLatencyBuckets covers 10µs..10s exponentially and
+// is the layout every request/cell latency histogram in the repo shares,
+// so dashboards and the quantile estimator see one stable grid across PRs.
+// Quantile estimates interpolate linearly inside a bucket — the error is
+// bounded by the bucket width around the true value (pinned by test).
+//
+// # Exposition
+//
+// WritePrometheus emits the text format: families sorted by name, series
+// sorted by label signature, HELP/TYPE lines once per family, histograms
+// as cumulative `_bucket{le=…}` series plus `_sum` and `_count`. Output is
+// deterministic for a given registry state (golden-pinned), so smoke tests
+// can grep series names and counts.
+//
+// # Tracing
+//
+// Tracer timestamps named spans into a JSONL event log: Start(name, kv…)
+// returns a Span, Span.End(kv…) writes one {"span","start_us","dur_us",…}
+// line with the attributes of both calls. One line per End, one mutex
+// around the writer, wall-clock microseconds — enough to see where a
+// request or a sweep cell spent its time (request → sweep → resolve → run
+// → emit), not a distributed-tracing system.
+package obs

@@ -1,0 +1,390 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct{ Key, Value string }
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing value (one atomic word). All
+// methods are no-ops on a nil receiver.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be ≥ 0 for the value to stay monotonic).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down, stored as atomic float64 bits.
+// All methods are no-ops on a nil receiver.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (CAS loop; safe from any goroutine).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-water mark (the reorder-window peak gauge uses it).
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Func is a metric whose value is sampled from a callback at read time —
+// how externally owned counters (cache stats, store sizes) surface without
+// double bookkeeping. Value is 0 on a nil receiver.
+type Func struct{ fn func() float64 }
+
+// Value invokes the callback.
+func (f *Func) Value() float64 {
+	if f == nil || f.fn == nil {
+		return 0
+	}
+	return f.fn()
+}
+
+// DefaultLatencyBuckets is the shared latency bucket layout: 10µs to 10s,
+// roughly ×2.5 per step. Every request/cell latency histogram in the repo
+// uses it, so their `le` grids align across endpoints and subsystems. The
+// layout is part of the package contract — changing it would silently
+// shift every recorded quantile, so treat it as frozen.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+		0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// Histogram is a fixed-bucket histogram: per-bucket atomic counters, an
+// atomic count and a CAS-added float sum. Observe never allocates or
+// locks. All methods are no-ops on a nil receiver.
+type Histogram struct {
+	upper   []float64 // ascending bucket upper bounds; +Inf is implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefaultLatencyBuckets()
+	}
+	upper := append([]float64(nil), buckets...)
+	sort.Float64s(upper)
+	return &Histogram{upper: upper, buckets: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound is ≥ v; misses land in +Inf.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1, e.g. 0.5/0.99/0.999) by
+// linear interpolation inside the bucket holding the target rank — the
+// same estimate PromQL's histogram_quantile computes. The error is bounded
+// by the width of that bucket; values beyond the last finite bound clamp
+// to it. Returns NaN with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.buckets {
+		inBucket := float64(h.buckets[i].Load())
+		if cum+inBucket >= rank {
+			if i == len(h.upper) {
+				return h.upper[len(h.upper)-1] // +Inf bucket clamps
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.upper[i-1]
+			}
+			if inBucket == 0 {
+				return h.upper[i]
+			}
+			return lo + (h.upper[i]-lo)*(rank-cum)/inBucket
+		}
+		cum += inBucket
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// metricKind tags a family's TYPE line.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one registered (family, labels) metric.
+type series struct {
+	labels  string // canonical rendered label signature, "" for none
+	counter *Counter
+	gauge   *Gauge
+	fn      *Func
+	hist    *Histogram
+}
+
+// familyM groups the series of one metric name under a shared HELP/TYPE.
+type familyM struct {
+	name    string
+	help    string
+	kind    metricKind
+	buckets []float64 // histogram layout, fixed at first registration
+	series  map[string]*series
+	order   []string
+}
+
+// Registry holds metric families and encodes them in the Prometheus text
+// exposition format. Registration is get-or-create: the same (name,
+// labels) always returns the same metric, so handles can be re-derived
+// anywhere (that is what lets /healthz and /metrics read the same state by
+// construction). A nil *Registry hands out nil metrics, making every
+// instrumented path a no-op. Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*familyM
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*familyM{}}
+}
+
+// Counter returns the counter registered under (name, labels), creating it
+// on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.getOrCreate(name, help, kindCounter, nil, labels)
+	if s == nil {
+		return nil
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.getOrCreate(name, help, kindGauge, nil, labels)
+	if s == nil {
+		return nil
+	}
+	return s.gauge
+}
+
+// CounterFunc registers a counter-typed series whose value is sampled from
+// fn at exposition time — for monotonic counters owned elsewhere (e.g.
+// cache hit totals). Re-registering the same (name, labels) replaces the
+// callback.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) *Func {
+	s := r.getOrCreate(name, help, kindCounter, nil, labels)
+	if s == nil {
+		return nil
+	}
+	s.fn = &Func{fn: fn}
+	return s.fn
+}
+
+// GaugeFunc registers a gauge-typed series whose value is sampled from fn
+// at exposition time. Re-registering the same (name, labels) replaces the
+// callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) *Func {
+	s := r.getOrCreate(name, help, kindGauge, nil, labels)
+	if s == nil {
+		return nil
+	}
+	s.fn = &Func{fn: fn}
+	return s.fn
+}
+
+// Histogram returns the histogram registered under (name, labels),
+// creating it on first use. buckets sets the upper bounds for the family's
+// FIRST registration (nil = DefaultLatencyBuckets); later registrations of
+// the same name reuse the existing layout so all series of a family share
+// one `le` grid.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	s := r.getOrCreate(name, help, kindHistogram, buckets, labels)
+	if s == nil {
+		return nil
+	}
+	return s.hist
+}
+
+func (r *Registry) getOrCreate(name, help string, kind metricKind, buckets []float64, labels []Label) *series {
+	if r == nil {
+		return nil
+	}
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &familyM{name: name, help: help, kind: kind, series: map[string]*series{}}
+		if kind == kindHistogram {
+			f.buckets = newHistogram(buckets).upper
+		}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	s, ok := f.series[sig]
+	if !ok {
+		s = &series{labels: sig}
+		switch kind {
+		case kindCounter:
+			s.counter = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindHistogram:
+			s.hist = newHistogram(f.buckets)
+		}
+		f.series[sig] = s
+		f.order = append(f.order, sig)
+	}
+	return s
+}
+
+// labelSignature renders labels canonically: sorted by key, escaped,
+// wrapped in braces ("" for no labels).
+func labelSignature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}

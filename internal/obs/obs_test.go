@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the text exposition byte for byte:
+// HELP/TYPE lines, label escaping, sorted families and series, and the
+// histogram _bucket/_sum/_count triplet with cumulative counts and a
+// spliced le label.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_requests_total", "Requests by endpoint.", L("endpoint", "/v1/sweep"), L("code", "200")).Add(3)
+	r.Counter("zz_requests_total", "Requests by endpoint.", L("endpoint", "/v1/sweep"), L("code", "503")).Inc()
+	r.Gauge("aa_slots_in_use", "Busy sweep slots.").Set(2)
+	r.GaugeFunc("mm_cache_entries", "Cached instances.", func() float64 { return 7 })
+	r.Counter("esc_total", "help with \\ backslash\nand newline", L("path", `quo"te\back`+"\nnl")).Inc()
+	h := r.Histogram("req_seconds", "Latency.", []float64{0.01, 0.1, 1}, L("endpoint", "/healthz"))
+	h.Observe(0.005)
+	h.Observe(0.005)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_slots_in_use Busy sweep slots.
+# TYPE aa_slots_in_use gauge
+aa_slots_in_use 2
+# HELP esc_total help with \\ backslash\nand newline
+# TYPE esc_total counter
+esc_total{path="quo\"te\\back\nnl"} 1
+# HELP mm_cache_entries Cached instances.
+# TYPE mm_cache_entries gauge
+mm_cache_entries 7
+# HELP req_seconds Latency.
+# TYPE req_seconds histogram
+req_seconds_bucket{endpoint="/healthz",le="0.01"} 2
+req_seconds_bucket{endpoint="/healthz",le="0.1"} 2
+req_seconds_bucket{endpoint="/healthz",le="1"} 3
+req_seconds_bucket{endpoint="/healthz",le="+Inf"} 4
+req_seconds_sum{endpoint="/healthz"} 5.51
+req_seconds_count{endpoint="/healthz"} 4
+# HELP zz_requests_total Requests by endpoint.
+# TYPE zz_requests_total counter
+zz_requests_total{code="200",endpoint="/v1/sweep"} 3
+zz_requests_total{code="503",endpoint="/v1/sweep"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestGetOrCreateIdentity pins the registry contract /healthz relies on:
+// re-registering the same (name, labels) returns the same metric, so any
+// two readers see one value by construction.
+func TestGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", L("k", "v"))
+	b := r.Counter("x_total", "", L("k", "v"))
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	if c := r.Counter("x_total", "", L("k", "w")); c == a {
+		t.Error("different labels returned the same counter")
+	}
+	h1 := r.Histogram("h_seconds", "", []float64{1, 2, 3})
+	h2 := r.Histogram("h_seconds", "", []float64{9, 10}, L("k", "v"))
+	if len(h2.upper) != len(h1.upper) || h2.upper[0] != 1 {
+		t.Errorf("second registration did not reuse the family's bucket layout: %v", h2.upper)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind conflict did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+// TestNilSafety drives every metric operation through nil receivers — the
+// observability-off path must be a no-op, never a panic.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a_total", "")
+	g := r.Gauge("b", "")
+	h := r.Histogram("c_seconds", "", nil)
+	f := r.GaugeFunc("d", "", func() float64 { return 1 })
+	r.CounterFunc("e_total", "", func() float64 { return 1 })
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(2)
+	g.Inc()
+	g.Dec()
+	g.SetMax(9)
+	h.Observe(0.1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || f.Value() != 0 {
+		t.Error("nil metrics reported non-zero values")
+	}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("nil histogram quantile should be NaN")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+	var tr *Tracer
+	sp := tr.Start("noop", "k", "v")
+	sp.End("k2", "v2") // must not panic
+}
+
+// TestHistogramQuantileAccuracy bounds the estimator's error: with values
+// spread uniformly over the bucketed range, every estimated quantile must
+// land within one bucket width of the true quantile.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	buckets := make([]float64, 20)
+	for i := range buckets {
+		buckets[i] = float64(i+1) / 20 // 0.05 .. 1.00, width 0.05
+	}
+	r := NewRegistry()
+	h := r.Histogram("u_seconds", "", buckets)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i) / n) // uniform on [0, 1)
+	}
+	const width = 0.05
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := h.Quantile(q)
+		if math.Abs(got-q) > width {
+			t.Errorf("q=%g: estimate %g off the true quantile by more than a bucket width", q, got)
+		}
+	}
+	if got := h.Quantile(1); got != 1 {
+		t.Errorf("q=1 should hit the top finite bound, got %g", got)
+	}
+}
+
+// TestHistogramOverflowClampsToTopBound pins +Inf-bucket behaviour: a
+// quantile that lands beyond the last finite bound reports that bound
+// (the histogram cannot see further).
+func TestHistogramOverflowClampsToTopBound(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("o_seconds", "", []float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("overflowed quantile = %g, want clamp to 2", got)
+	}
+}
+
+// TestConcurrentIncrements hammers every metric type from many goroutines
+// — exact totals must survive, and under -race this is the data-race
+// coverage for the atomic paths.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "")
+	g := r.Gauge("gg", "")
+	h := r.Histogram("hh_seconds", "", []float64{0.5})
+	peak := r.Gauge("pk", "")
+	const workers, each = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%2)) // alternates the two buckets
+				peak.SetMax(float64(w*each + i))
+			}
+			// Concurrent registration of the same series must converge.
+			if r.Counter("cc_total", "") != c {
+				t.Error("concurrent get-or-create diverged")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*each {
+		t.Errorf("counter = %d, want %d", got, workers*each)
+	}
+	if got := g.Value(); got != workers*each {
+		t.Errorf("gauge = %g, want %d", got, workers*each)
+	}
+	if got := h.Count(); got != workers*each {
+		t.Errorf("histogram count = %d, want %d", got, workers*each)
+	}
+	if got := peak.Value(); got != (workers-1)*each+each-1 {
+		t.Errorf("SetMax high-water = %g, want %d", got, (workers-1)*each+each-1)
+	}
+	// Scrape concurrently-written state: totals in the exposition agree.
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "hh_seconds_count 80000") {
+		t.Errorf("exposition lost observations:\n%s", b.String())
+	}
+}
+
+// TestMetricUpdatesDoNotAllocate pins the hot-path contract: once handles
+// exist, no metric update allocates.
+func TestMetricUpdatesDoNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a_total", "")
+	g := r.Gauge("b", "")
+	h := r.Histogram("c_seconds", "", nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(3)
+		g.SetMax(4)
+		h.Observe(0.004)
+	}); n != 0 {
+		t.Errorf("metric updates allocated %.1f times per run", n)
+	}
+}

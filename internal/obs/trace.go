@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer timestamps named spans into a structured JSONL event log: one
+// line per completed span, written atomically under a mutex, of the form
+//
+//	{"span":"run","start_us":1722945600123456,"dur_us":1534,"cell":"path:n=8,k=2/greedy/rep0"}
+//
+// start_us is wall-clock Unix microseconds, dur_us the span duration
+// measured monotonically. Attribute keys and values are strings, given as
+// alternating key, value pairs to Start and End (End's pairs append after
+// Start's; a trailing odd key is dropped). A nil *Tracer and the zero Span
+// are no-ops, so tracing costs a nil check when off. The writer is flushed
+// by its owner (a bufio close), not per line.
+type Tracer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTracer writes span events to w as JSON lines.
+func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w} }
+
+// Span is one in-flight timed operation; End writes its event line.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+	kv    []string
+}
+
+// Start opens a span. The returned Span must End on the same goroutine or
+// with the caller's own ordering — the tracer itself only locks the final
+// write.
+func (t *Tracer) Start(name string, kv ...string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: time.Now(), kv: kv}
+}
+
+// End closes the span and writes its JSONL event.
+func (s Span) End(kv ...string) {
+	if s.t == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	buf := make([]byte, 0, 128)
+	buf = append(buf, `{"span":`...)
+	buf = appendJSONString(buf, s.name)
+	buf = append(buf, `,"start_us":`...)
+	buf = appendInt(buf, s.start.UnixMicro())
+	buf = append(buf, `,"dur_us":`...)
+	buf = appendInt(buf, dur.Microseconds())
+	buf = appendAttrs(buf, s.kv)
+	buf = appendAttrs(buf, kv)
+	buf = append(buf, '}', '\n')
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	s.t.w.Write(buf)
+}
+
+// appendAttrs appends ,"k":"v" for each complete pair.
+func appendAttrs(buf []byte, kv []string) []byte {
+	for i := 0; i+1 < len(kv); i += 2 {
+		buf = append(buf, ',')
+		buf = appendJSONString(buf, kv[i])
+		buf = append(buf, ':')
+		buf = appendJSONString(buf, kv[i+1])
+	}
+	return buf
+}
+
+// appendJSONString appends s as a JSON string literal.
+func appendJSONString(buf []byte, s string) []byte {
+	b, _ := json.Marshal(s)
+	return append(buf, b...)
+}
+
+// appendInt appends the decimal rendering of v.
+func appendInt(buf []byte, v int64) []byte {
+	if v < 0 {
+		buf = append(buf, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(buf, tmp[i:]...)
+}

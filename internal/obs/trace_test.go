@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTracerSpanLog drives spans through a tracer and checks every line is
+// a well-formed event carrying the span name, timestamps, and the
+// attributes of both Start and End.
+func TestTracerSpanLog(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(&b)
+	sp := tr.Start("run", "cell", `path:n=8,k=2/greedy/rep0`)
+	sp.End("rows", "3")
+	tr.Start("resolve").End()
+
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), b.String())
+	}
+	var ev struct {
+		Span    string `json:"span"`
+		StartUS int64  `json:"start_us"`
+		DurUS   int64  `json:"dur_us"`
+		Cell    string `json:"cell"`
+		Rows    string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 is not JSON: %v\n%s", err, lines[0])
+	}
+	if ev.Span != "run" || ev.Cell != "path:n=8,k=2/greedy/rep0" || ev.Rows != "3" {
+		t.Errorf("attributes lost: %+v", ev)
+	}
+	if ev.StartUS == 0 || ev.DurUS < 0 {
+		t.Errorf("timestamps wrong: %+v", ev)
+	}
+	// Field order is part of the format: span first, then timestamps.
+	if !strings.HasPrefix(lines[0], `{"span":"run","start_us":`) {
+		t.Errorf("unexpected field order: %s", lines[0])
+	}
+}
+
+// TestTracerEscaping pins attribute escaping through the hand-rolled
+// encoder: quotes, backslashes and newlines must survive a JSON round
+// trip.
+func TestTracerEscaping(t *testing.T) {
+	var b strings.Builder
+	tr := NewTracer(&b)
+	nasty := "quo\"te\\back\nnl"
+	tr.Start("x", "k", nasty).End()
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSuffix(b.String(), "\n")), &ev); err != nil {
+		t.Fatalf("not JSON: %v\n%q", err, b.String())
+	}
+	if ev["k"] != nasty {
+		t.Errorf("attribute mangled: %q", ev["k"])
+	}
+}
+
+// TestTracerConcurrentSpans ends spans from many goroutines; every event
+// must come out as one whole line (the mutex serialises writes), counted
+// through a line scanner.
+func TestTracerConcurrentSpans(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	tr := NewTracer(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	}))
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Start("t").End()
+			}
+		}()
+	}
+	wg.Wait()
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	n := 0
+	for sc.Scan() {
+		if !json.Valid(sc.Bytes()) {
+			t.Fatalf("torn line: %s", sc.Text())
+		}
+		n++
+	}
+	if n != workers*each {
+		t.Errorf("got %d events, want %d", n, workers*each)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -64,6 +64,27 @@ func BenchmarkServeSweepLatency(b *testing.B) {
 	}
 }
 
+// BenchmarkServeObsOverhead measures the full-stack instrumentation tax:
+// the same warmed one-cell request served with the obs registry active
+// (request histogram + counter + slot gauges + sweep metrics per request)
+// vs disabled via the noObs seam. BENCH_pr8 records the delta against the
+// <2% target.
+func BenchmarkServeObsOverhead(b *testing.B) {
+	req := SweepRequest{Grids: []string{"regular:n=4096,k=4"}, Algos: []string{"greedy"}, Seed: 1}
+	for _, mode := range []string{"obs-off", "obs-on"} {
+		b.Run(mode, func(b *testing.B) {
+			s := NewServer(Options{Log: log.New(io.Discard, "", 0), noObs: mode == "obs-off"})
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			benchPost(b, ts.URL, req) // warm the instance cache
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchPost(b, ts.URL, req)
+			}
+		})
+	}
+}
+
 // BenchmarkServeRowsThroughput compares rows/sec of a many-row sweep
 // streamed over HTTP (rows encoded, flushed per row, carried over TCP)
 // against the same Config driven directly through sweep.Stream into a

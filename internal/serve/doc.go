@@ -14,6 +14,7 @@
 //	GET  /v1/scenarios     the generated-scenario registry
 //	GET  /v1/algos         the algorithm registry
 //	GET  /healthz          liveness, drain state, cache counters
+//	GET  /metrics          the obs registry, Prometheus text format
 //
 // # Concurrency
 //
@@ -51,4 +52,25 @@
 // http.Server.Shutdown, which returns once the drained responses have
 // finished; because rows are flushed per cell, even a drain timeout leaves
 // whole rows, never torn ones.
+//
+// # Observability
+//
+// Every handler is wrapped with request instrumentation over an internal
+// obs.Registry: a per-endpoint latency histogram
+// (mmserve_http_request_seconds{endpoint}) observed until the last byte of
+// the response — for streaming sweeps that is the trailer — and a
+// per-(endpoint, code) request counter. The sweep path additionally
+// maintains slot gauges (mmserve_sweep_slots_in_use / _capacity), refusal
+// counters by reason (mmserve_sweeps_refused_total{reason}), and the
+// sweep driver's own telemetry (sweep_* families) registered in the same
+// registry. Cache and store sizes are sampled lazily via GaugeFunc, so
+// scraping never takes the handlers' locks out of order.
+//
+// GET /metrics encodes the registry in the Prometheus text exposition
+// format. /healthz reads the SAME registry handles and renders them as the
+// pre-existing JSON shape — one source, two formats, so the two endpoints
+// cannot disagree (pinned by TestHealthzAgreesWithMetrics). Options.Trace
+// adds JSONL spans per request and per sweep cell (request → sweep →
+// resolve → run → emit); cmd/mmserve exposes it as -trace and offers an
+// optional pprof listener via -pprof-addr.
 package serve

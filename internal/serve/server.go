@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -30,6 +31,12 @@ type Options struct {
 	// (store → registry, memoised by the cache) before sweeps use it — a
 	// test seam for gating or observing instance resolution.
 	WrapProvider func(sweep.InstanceProvider) sweep.InstanceProvider
+	// Trace, when non-nil, receives JSONL span events for every request
+	// and every sweep cell (request → sweep → resolve → run → emit).
+	Trace *obs.Tracer
+	// noObs disables the metrics registry entirely — only reachable from
+	// inside the package, for the instrumentation-overhead benchmark.
+	noObs bool
 }
 
 // Server is the mmserve HTTP service: handlers over an injected graph
@@ -43,6 +50,15 @@ type Server struct {
 	slots    chan struct{}
 	log      *log.Logger
 	mux      *http.ServeMux
+
+	// metrics is the obs registry behind GET /metrics and /healthz; every
+	// handler is wrapped by its request instrumentation. sweepMetrics is
+	// the sweep-driver telemetry registered in the same registry and
+	// shared by all sweep requests. Both are nil-safe (the obs-off
+	// benchmark sets metrics to nil after construction).
+	metrics      *serverMetrics
+	sweepMetrics *sweep.Metrics
+	tracer       *obs.Tracer
 
 	draining atomic.Bool
 	active   atomic.Int64
@@ -67,14 +83,21 @@ func NewServer(opts Options) *Server {
 	if opts.WrapProvider != nil {
 		s.provider = opts.WrapProvider(s.provider)
 	}
+	s.tracer = opts.Trace
+	if !opts.noObs {
+		s.metrics = newServerMetrics(s, opts.Trace)
+		s.metrics.setSlotCapacity(opts.MaxSweeps)
+		s.sweepMetrics = sweep.NewMetrics(s.metrics.reg)
+	}
 
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/graphs", s.handleGraphSubmit)
-	s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGraphGet)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
-	s.mux.HandleFunc("GET /v1/algos", s.handleAlgos)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/graphs", s.metrics.instrument("/v1/graphs", s.handleGraphSubmit))
+	s.mux.HandleFunc("GET /v1/graphs/{id}", s.metrics.instrument("/v1/graphs/{id}", s.handleGraphGet))
+	s.mux.HandleFunc("POST /v1/sweep", s.metrics.instrument("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("GET /v1/scenarios", s.metrics.instrument("/v1/scenarios", s.handleScenarios))
+	s.mux.HandleFunc("GET /v1/algos", s.metrics.instrument("/v1/algos", s.handleAlgos))
+	s.mux.HandleFunc("GET /healthz", s.metrics.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.metrics.instrument("/metrics", s.handleMetrics))
 	return s
 }
 
@@ -105,11 +128,23 @@ type Health struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	h := Health{
-		Status:       "ok",
-		ActiveSweeps: s.ActiveSweeps(),
-		GraphsStored: s.store.Len(),
-		Cache:        s.cache.Stats(),
+	h := Health{Status: "ok"}
+	if m := s.metrics; m != nil {
+		// /healthz is a JSON rendering of the same obs registry handles
+		// GET /metrics encodes — one source, two formats, so the two
+		// endpoints can never disagree (pinned by test). The JSON shape
+		// predates the registry and is kept backward-compatible.
+		h.ActiveSweeps = int(m.activeSweeps.Value())
+		h.GraphsStored = int(m.graphsStored.Value())
+		h.Cache = sweep.CacheStats{
+			Hits:    int64(m.cacheHits.Value()),
+			Misses:  int64(m.cacheMisses.Value()),
+			Entries: int(m.cacheEntries.Value()),
+		}
+	} else {
+		h.ActiveSweeps = s.ActiveSweeps()
+		h.GraphsStored = s.store.Len()
+		h.Cache = s.cache.Stats()
 	}
 	if s.Draining() {
 		h.Status = "draining"

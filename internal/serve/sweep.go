@@ -72,6 +72,7 @@ func requestSeed(req SweepRequest) int64 {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
+		s.metrics.refuse("draining")
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
@@ -81,11 +82,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.slots <- struct{}{}:
 	default:
+		s.metrics.refuse("saturated")
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "all sweep slots busy")
 		return
 	}
-	defer func() { <-s.slots }()
+	s.metrics.slotClaimed()
+	defer func() { <-s.slots; s.metrics.slotReleased() }()
 	s.active.Add(1)
 	defer s.active.Add(-1)
 
@@ -110,6 +113,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		CellWorkers:   req.CellWorkers,
 		BuildWorkers:  req.BuildWorkers,
 		Provider:      s.provider,
+		Metrics:       s.sweepMetrics,
+		Tracer:        s.tracer,
 	}
 	for _, id := range req.Graphs {
 		sg, ok := s.store.Get(id)
@@ -146,13 +151,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return nil
 		}),
 	)
+	sp := s.tracer.Start("sweep", "seed", strconv.FormatInt(cfg.Seed, 10))
 	if _, err := sweep.Stream(r.Context(), cfg, sink); err != nil {
+		sp.End("error", err.Error())
 		// The 200 header is long gone; the error line is the in-band
 		// protocol, and the missing trailer marks the body incomplete.
 		s.log.Printf("sweep seed=%d: %v", cfg.Seed, err)
 		json.NewEncoder(fw).Encode(map[string]string{"error": err.Error()})
 		return
 	}
+	sp.End("rows", strconv.Itoa(trailer.Rows))
 	trailer.Done = true
 	json.NewEncoder(w).Encode(trailer)
 	s.log.Printf("sweep seed=%d: %d rows, %d violations", cfg.Seed, trailer.Rows, trailer.Violations)

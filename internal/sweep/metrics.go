@@ -1,0 +1,165 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics is the sweep driver's telemetry: per-cell build/run/emit latency
+// histograms, rows-emitted / violation / cells-done counters, and
+// reorder-window occupancy gauges, all registered in one obs.Registry.
+// A nil *Metrics is a no-op (Stream and runCell guard every update), so an
+// uninstrumented sweep pays a nil check and nothing else — the alloc-parity
+// test pins that an ACTIVE registry costs no allocations either.
+//
+// Counters are cumulative across runs sharing the Metrics (mmserve
+// registers one for all sweep requests); the planned/done pair still
+// yields per-run progress when one run owns the Metrics, which is what
+// mmsweep's -progress reporter does.
+type Metrics struct {
+	// CellsPlanned counts cells admitted to runs (after resume filtering);
+	// CellsDone counts cells whose row reached the sink; CellsSkipped
+	// counts cells skipped by resume.
+	CellsPlanned, CellsDone, CellsSkipped *obs.Counter
+	// Rows counts emitted rows (== CellsDone; kept separate so the name
+	// reads naturally next to Violations), Violations the contract
+	// breaches recorded in them.
+	Rows, Violations *obs.Counter
+	// Build times InstanceProvider.Instance (cache/store/construction),
+	// Run the engine execution plus output validation, Emit the sink I/O
+	// per row.
+	Build, Run, Emit *obs.Histogram
+	// Buffered tracks the reorder window's current occupancy, BufferedPeak
+	// its high-water mark — the driver-memory ceiling the streaming tests
+	// assert.
+	Buffered, BufferedPeak *obs.Gauge
+}
+
+// NewMetrics registers the sweep metric families in r (nil r → nil
+// Metrics, observability off). Metric names are stable API: the CI smoke
+// and the README table grep for them.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		CellsPlanned: r.Counter("sweep_cells_planned_total", "Cells admitted to sweep runs after resume filtering."),
+		CellsDone:    r.Counter("sweep_cells_done_total", "Cells completed and emitted."),
+		CellsSkipped: r.Counter("sweep_cells_skipped_resume_total", "Cells skipped because an earlier run already emitted them."),
+		Rows:         r.Counter("sweep_rows_total", "JSONL rows emitted."),
+		Violations:   r.Counter("sweep_violations_total", "Contract violations recorded in emitted rows."),
+		Build:        r.Histogram("sweep_build_seconds", "Per-cell instance resolution latency (cache hit, store lookup, or construction).", nil),
+		Run:          r.Histogram("sweep_run_seconds", "Per-cell engine execution latency.", nil),
+		Emit:         r.Histogram("sweep_emit_seconds", "Per-row sink emission latency (encode + flush).", nil),
+		Buffered:     r.Gauge("sweep_reorder_buffered", "Completed cells currently held by the reorder window."),
+		BufferedPeak: r.Gauge("sweep_reorder_buffered_peak", "High-water mark of reorder-window occupancy."),
+	}
+}
+
+// The nil-guarded recording hooks Stream and runCell call. Each is a
+// single branch when observability is off.
+
+func (m *Metrics) recordPlan(planned, skipped int) {
+	if m == nil {
+		return
+	}
+	m.CellsPlanned.Add(int64(planned))
+	m.CellsSkipped.Add(int64(skipped))
+}
+
+func (m *Metrics) observeBuild(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Build.Observe(d.Seconds())
+}
+
+func (m *Metrics) observeRun(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Run.Observe(d.Seconds())
+}
+
+func (m *Metrics) recordEmit(r *Result, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Emit.Observe(d.Seconds())
+	m.CellsDone.Inc()
+	m.Rows.Inc()
+	m.Violations.Add(int64(len(r.Violations)))
+}
+
+func (m *Metrics) recordBuffered(now, peak int) {
+	if m == nil {
+		return
+	}
+	m.Buffered.Set(float64(now))
+	m.BufferedPeak.SetMax(float64(peak))
+}
+
+// StartProgress launches a reporter that writes one status line to w every
+// interval — cells done/planned, percentage, rows/s over the last
+// interval, and an ETA extrapolated from the cumulative cell rate:
+//
+//	progress: 37/96 cells (38.5%), 412 rows/s, eta 9s
+//
+// It reads only the Metrics counters, so it works for any run shape that
+// owns the Metrics. The returned stop function halts the ticker and, when
+// anything was reported, writes a final line; it must be called before the
+// process reports completion. A nil Metrics returns a no-op stop.
+func (m *Metrics) StartProgress(w io.Writer, interval time.Duration) (stop func()) {
+	if m == nil || interval <= 0 {
+		return func() {}
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	line := func(lastRows int64, lastT time.Time) (int64, time.Time) {
+		now := time.Now()
+		rows := m.Rows.Value()
+		rate := float64(rows-lastRows) / now.Sub(lastT).Seconds()
+		planned := m.CellsPlanned.Value()
+		cells := m.CellsDone.Value()
+		pct := 0.0
+		if planned > 0 {
+			pct = 100 * float64(cells) / float64(planned)
+		}
+		eta := "?"
+		if cells > 0 && planned > cells {
+			cellRate := float64(cells) / now.Sub(start).Seconds()
+			eta = (time.Duration(float64(planned-cells)/cellRate) * time.Second).Round(time.Second).String()
+		} else if planned == cells && planned > 0 {
+			eta = "0s"
+		}
+		fmt.Fprintf(w, "progress: %d/%d cells (%.1f%%), %.0f rows/s, eta %s\n", cells, planned, pct, rate, eta)
+		return rows, now
+	}
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		lastRows, lastT := int64(0), start
+		reported := false
+		for {
+			select {
+			case <-t.C:
+				lastRows, lastT = line(lastRows, lastT)
+				reported = true
+			case <-done:
+				if reported {
+					line(lastRows, lastT)
+				}
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

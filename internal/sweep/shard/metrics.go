@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics is the supervisor's fault-history telemetry: how many times
+// workers were restarted, why (crash vs expired lease), and how long the
+// run spent backing off. All families are registered eagerly at zero, so a
+// fault-free run still exposes the full series set — an absent series and
+// a zero series must mean different things to a scraper. Per-shard attempt
+// counts carry a bounded shard label (one per shard index).
+//
+// A nil *Metrics is a no-op, like the rest of the obs layer: the
+// unsupervised single-process path never pays for it.
+type Metrics struct {
+	Restarts      *obs.Counter   // worker attempts beyond each shard's first
+	LeaseExpiries *obs.Counter   // hung workers killed by lease timeout
+	Backoff       *obs.Histogram // pre-restart backoff sleeps (count + seconds)
+
+	reg *obs.Registry
+}
+
+// NewMetrics registers the supervisor families in r (nil r → nil Metrics).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Restarts: r.Counter("shard_restarts_total",
+			"Worker launches beyond each shard's first attempt."),
+		LeaseExpiries: r.Counter("shard_lease_expiries_total",
+			"Workers killed because their lease expired without progress."),
+		Backoff: r.Histogram("shard_backoff_seconds",
+			"Backoff sleeps before worker restarts (the _sum is total backoff time).", nil),
+		reg: r,
+	}
+}
+
+// recordAttempt notes shard shardIdx launching its attempt-th try (0-based:
+// attempt 0 is the initial launch, not a restart). The per-shard gauge
+// holds the latest attempt ordinal so a scrape shows which shards are on
+// their first try and which are churning.
+func (m *Metrics) recordAttempt(shardIdx, attempt int) {
+	if m == nil {
+		return
+	}
+	if attempt > 0 {
+		m.Restarts.Inc()
+	}
+	m.reg.Gauge("shard_attempts",
+		"Latest launch ordinal per shard (0 = first attempt).",
+		obs.L("shard", strconv.Itoa(shardIdx))).Set(float64(attempt))
+}
+
+func (m *Metrics) recordLeaseExpiry() {
+	if m == nil {
+		return
+	}
+	m.LeaseExpiries.Inc()
+}
+
+func (m *Metrics) recordBackoff(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Backoff.Observe(d.Seconds())
+}

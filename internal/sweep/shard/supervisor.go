@@ -107,6 +107,10 @@ type Supervisor struct {
 	Seed int64
 	// Log receives one line per supervision event (nil = discard).
 	Log io.Writer
+	// Metrics, when non-nil, records the fault history — restarts, lease
+	// expiries, backoff waits, per-shard attempt ordinals — into its obs
+	// registry (mmsweep -supervise dumps it via -metrics-out).
+	Metrics *Metrics
 
 	logMu sync.Mutex
 }
@@ -164,10 +168,12 @@ func (s *Supervisor) superviseShard(ctx context.Context, shardIdx int) error {
 			s.logf("shard %d: attempt %d in %s (previous: %v)", shardIdx, attempt, d, lastErr)
 			select {
 			case <-time.After(d):
+				s.Metrics.recordBackoff(d)
 			case <-ctx.Done():
 				return ctx.Err()
 			}
 		}
+		s.Metrics.recordAttempt(shardIdx, attempt)
 		h, err := s.Launch(ctx, shardIdx, attempt)
 		if err != nil {
 			lastErr = err
@@ -230,6 +236,7 @@ func (s *Supervisor) monitor(ctx context.Context, shardIdx int, h Handle) error 
 			return err
 		case <-lease.C:
 			s.logf("shard %d: lease expired after %s — killing hung worker", shardIdx, timeout)
+			s.Metrics.recordLeaseExpiry()
 			h.Kill()
 			return &errLeaseExpired{timeout: timeout, exit: <-h.Done()}
 		case <-ctx.Done():

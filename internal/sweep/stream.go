@@ -5,8 +5,10 @@ import (
 	goruntime "runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/gen"
+	"repro/internal/obs"
 )
 
 // DefaultReorderWindow bounds how many completed cells the stream driver
@@ -113,6 +115,7 @@ func Stream(ctx context.Context, cfg Config, sink Sink) (StreamStats, error) {
 			}
 		}
 	}
+	cfg.Metrics.recordPlan(len(jobs), stats.SkippedResume)
 	if len(jobs) == 0 {
 		return stats, ctx.Err()
 	}
@@ -129,7 +132,8 @@ func Stream(ctx context.Context, cfg Config, sink Sink) (StreamStats, error) {
 		window = DefaultReorderWindow(workers)
 	}
 
-	o := &orderer{sink: sink, window: window, buf: map[int]*Result{}, errAt: map[int]error{}}
+	o := &orderer{sink: sink, window: window, buf: map[int]*Result{}, errAt: map[int]error{},
+		metrics: cfg.Metrics, tracer: cfg.Tracer}
 	o.cond = sync.NewCond(&o.mu)
 	var wg sync.WaitGroup
 	next := 0
@@ -176,10 +180,12 @@ func Stream(ctx context.Context, cfg Config, sink Sink) (StreamStats, error) {
 // index and drain to the sink in index order; workers may run at most
 // `window` cells ahead of the drain frontier.
 type orderer struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	sink   Sink
-	window int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	sink    Sink
+	window  int
+	metrics *Metrics
+	tracer  *obs.Tracer
 
 	next     int // lowest index not yet drained
 	buf      map[int]*Result
@@ -214,6 +220,7 @@ func (o *orderer) deliver(i int, r *Result) {
 	if len(o.buf) > o.peak {
 		o.peak = len(o.buf)
 	}
+	o.metrics.recordBuffered(len(o.buf), o.peak)
 	o.mu.Unlock()
 	o.drain()
 }
@@ -254,8 +261,19 @@ func (o *orderer) drain() {
 			break
 		}
 		delete(o.buf, o.next)
+		buffered := len(o.buf)
 		o.mu.Unlock()
+		var sp obs.Span
+		if o.tracer != nil {
+			sp = o.tracer.Start("emit", "cell", r.ID())
+		}
+		t0 := time.Now()
 		emitErr := o.sink.Emit(r)
+		o.metrics.recordEmit(r, time.Since(t0))
+		o.metrics.recordBuffered(buffered, 0)
+		if o.tracer != nil {
+			sp.End()
+		}
 		releasePerRound(r)
 		o.mu.Lock()
 		if emitErr != nil {

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/mm"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 )
 
@@ -85,6 +87,15 @@ type Config struct {
 	// families only. A serving stack injects a caching provider chained
 	// over a submitted-graph store and the registry.
 	Provider InstanceProvider
+	// Metrics, when non-nil, receives the run's telemetry: per-cell
+	// build/run/emit timings, rows/violations counters, reorder-window
+	// gauges (see NewMetrics). Purely observational — it never changes
+	// results, seeds, or emission order, and nil costs a branch per hook.
+	Metrics *Metrics
+	// Tracer, when non-nil, logs per-cell spans ("resolve", "run", "emit",
+	// each tagged with the cell ID) as JSONL events. Observational only,
+	// like Metrics.
+	Tracer *obs.Tracer
 }
 
 // InstanceRef names one fixed instance in Config.Instances: the provider-
@@ -322,7 +333,16 @@ func runCell(cfg Config, c cell) (Result, error) {
 		res.Builder = "sharded"
 		spec.BuildWorkers = cfg.BuildWorkers
 	}
+	var sp obs.Span
+	if cfg.Tracer != nil {
+		sp = cfg.Tracer.Start("resolve", "cell", res.ID())
+	}
+	t0 := time.Now()
 	inst, err := cfg.provider().Instance(spec)
+	cfg.Metrics.observeBuild(time.Since(t0))
+	if cfg.Tracer != nil {
+		sp.End()
+	}
 	if err != nil {
 		return res, fmt.Errorf("sweep: %s: %w", res.ID(), err)
 	}
@@ -335,12 +355,20 @@ func runCell(cfg Config, c cell) (Result, error) {
 
 	src := c.algo.Source(g)
 	maxRounds := c.algo.MaxRounds(g)
+	if cfg.Tracer != nil {
+		sp = cfg.Tracer.Start("run", "cell", res.ID())
+	}
+	t0 = time.Now()
 	var outs []mm.Output
 	var st *runtime.Stats
 	if cfg.EngineWorkers > 1 {
 		outs, st, err = runtime.RunWorkersN(g, inst.Labels, src, maxRounds, cfg.EngineWorkers)
 	} else {
 		outs, st, err = runtime.RunSequentialLabeled(g, inst.Labels, src, maxRounds)
+	}
+	cfg.Metrics.observeRun(time.Since(t0))
+	if cfg.Tracer != nil {
+		sp.End()
 	}
 	if err != nil {
 		return res, fmt.Errorf("sweep: %s: %w", res.ID(), err)
