@@ -19,44 +19,63 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	// Snapshot every family's metadata and series set while holding the
+	// lock — getOrCreate mutates f.series/f.order/f.order's backing array
+	// concurrently (mmserve registers (endpoint, code) series lazily per
+	// request), so the maps and slices must not be read after unlocking.
+	// The copied series values carry the metric pointers; only the atomic
+	// values behind those pointers are read lock-free afterwards, so a
+	// slow writer never blocks metric updates.
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for name := range r.families {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	// Snapshot the family structures under the lock; the atomic values are
-	// read afterwards, so a slow writer never blocks metric updates.
-	fams := make([]*familyM, len(names))
+	fams := make([]famSnapshot, len(names))
 	for i, name := range names {
-		fams[i] = r.families[name]
+		f := r.families[name]
+		fams[i] = famSnapshot{name: f.name, help: f.help, kind: f.kind,
+			series: make([]series, len(f.order))}
+		for j, sig := range f.order {
+			fams[i].series[j] = *f.series[sig]
+		}
 	}
 	r.mu.Unlock()
 
 	var b strings.Builder
-	for _, f := range fams {
+	for fi := range fams {
+		f := &fams[fi]
 		if f.help != "" {
 			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
-		sigs := append([]string(nil), f.order...)
-		sort.Strings(sigs)
-		for _, sig := range sigs {
-			s := f.series[sig]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		for si := range f.series {
+			s := &f.series[si]
 			switch {
 			case s.hist != nil:
 				writeHistogram(&b, f.name, s)
 			case s.fn != nil:
-				fmt.Fprintf(&b, "%s%s %s\n", f.name, sig, formatFloat(s.fn.Value()))
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.fn.Value()))
 			case s.counter != nil:
-				fmt.Fprintf(&b, "%s%s %d\n", f.name, sig, s.counter.Value())
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.counter.Value())
 			case s.gauge != nil:
-				fmt.Fprintf(&b, "%s%s %s\n", f.name, sig, formatFloat(s.gauge.Value()))
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(s.gauge.Value()))
 			}
 		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// famSnapshot is one family's state copied out of the registry under its
+// lock, so encoding can proceed without it.
+type famSnapshot struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []series
 }
 
 // writeHistogram emits the cumulative bucket triplet of one histogram

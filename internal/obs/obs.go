@@ -276,7 +276,7 @@ func NewRegistry() *Registry {
 // Counter returns the counter registered under (name, labels), creating it
 // on first use.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
-	s := r.getOrCreate(name, help, kindCounter, nil, labels)
+	s := r.getOrCreate(name, help, kindCounter, nil, nil, labels)
 	if s == nil {
 		return nil
 	}
@@ -286,7 +286,7 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 // Gauge returns the gauge registered under (name, labels), creating it on
 // first use.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
-	s := r.getOrCreate(name, help, kindGauge, nil, labels)
+	s := r.getOrCreate(name, help, kindGauge, nil, nil, labels)
 	if s == nil {
 		return nil
 	}
@@ -298,24 +298,22 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 // cache hit totals). Re-registering the same (name, labels) replaces the
 // callback.
 func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) *Func {
-	s := r.getOrCreate(name, help, kindCounter, nil, labels)
-	if s == nil {
+	fv := &Func{fn: fn}
+	if r.getOrCreate(name, help, kindCounter, nil, fv, labels) == nil {
 		return nil
 	}
-	s.fn = &Func{fn: fn}
-	return s.fn
+	return fv
 }
 
 // GaugeFunc registers a gauge-typed series whose value is sampled from fn
 // at exposition time. Re-registering the same (name, labels) replaces the
 // callback.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) *Func {
-	s := r.getOrCreate(name, help, kindGauge, nil, labels)
-	if s == nil {
+	fv := &Func{fn: fn}
+	if r.getOrCreate(name, help, kindGauge, nil, fv, labels) == nil {
 		return nil
 	}
-	s.fn = &Func{fn: fn}
-	return s.fn
+	return fv
 }
 
 // Histogram returns the histogram registered under (name, labels),
@@ -324,14 +322,18 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 // the same name reuse the existing layout so all series of a family share
 // one `le` grid.
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
-	s := r.getOrCreate(name, help, kindHistogram, buckets, labels)
+	s := r.getOrCreate(name, help, kindHistogram, buckets, nil, labels)
 	if s == nil {
 		return nil
 	}
 	return s.hist
 }
 
-func (r *Registry) getOrCreate(name, help string, kind metricKind, buckets []float64, labels []Label) *series {
+// getOrCreate returns the series under (name, labels), creating the family
+// and series as needed. A non-nil fn is installed (replacing any previous
+// callback) while the lock is held, so every series-field write is
+// published under r.mu — WritePrometheus snapshots under the same lock.
+func (r *Registry) getOrCreate(name, help string, kind metricKind, buckets []float64, fn *Func, labels []Label) *series {
 	if r == nil {
 		return nil
 	}
@@ -362,6 +364,9 @@ func (r *Registry) getOrCreate(name, help string, kind metricKind, buckets []flo
 		}
 		f.series[sig] = s
 		f.order = append(f.order, sig)
+	}
+	if fn != nil {
+		s.fn = fn
 	}
 	return s
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -199,6 +200,44 @@ func TestConcurrentIncrements(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "hh_seconds_count 80000") {
 		t.Errorf("exposition lost observations:\n%s", b.String())
+	}
+}
+
+// TestConcurrentRegisterAndScrape pins the lazy-registration contract:
+// mmserve creates (endpoint, code) series on first sight of a status code,
+// so a /metrics scrape must be safe against getOrCreate growing the
+// registry mid-encode. Under -race this is the coverage for the snapshot
+// taken by WritePrometheus and for CounterFunc/GaugeFunc publishing their
+// callbacks under the registry lock.
+func TestConcurrentRegisterAndScrape(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				code := strconv.Itoa(200 + (w*131+i)%1000)
+				r.Counter("req_total", "requests", L("code", code)).Inc()
+				r.Histogram("lat_seconds", "latency", nil, L("code", code)).Observe(0.01)
+				r.GaugeFunc("fn_gauge", "sampled", func() float64 { return float64(i) }, L("w", strconv.Itoa(w)))
+			}
+		}(w)
+	}
+	// Scrape for the whole registration window, so encodes overlap with
+	// family creation, series creation, and callback replacement.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-done:
+			return
+		default:
+		}
 	}
 }
 
