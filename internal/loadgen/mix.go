@@ -1,0 +1,119 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/gen"
+	"repro/internal/sweep"
+)
+
+// MixEntry is one weighted cell of a traffic mix: a single-cell scenario
+// spec (the gen.Parse DSL — no grid ranges), the algorithm to run on it,
+// and its relative weight among the entries.
+type MixEntry struct {
+	Spec   string  `json:"spec"`
+	Algo   string  `json:"algo"`
+	Weight float64 `json:"weight"`
+}
+
+// DefaultMix covers every registered scenario family at smoke size with
+// the greedy algorithm, equally weighted — the same cells
+// sweep.DefaultGrids drives, as sustained traffic.
+func DefaultMix() []MixEntry {
+	var entries []MixEntry
+	for _, spec := range sweep.DefaultGrids() {
+		entries = append(entries, MixEntry{Spec: spec, Algo: "greedy", Weight: 1})
+	}
+	return entries
+}
+
+// Request is one paced load-generator request: a single-cell sweep with
+// a value-addressed seed, so a replayed request is byte-identical on the
+// wire and cache-hot on the server.
+type Request struct {
+	// Slot is the pacer slot that drew this request.
+	Slot int
+	// Grid is the single-cell scenario spec, Algo the algorithm name —
+	// together the sweep request body.
+	Grid string
+	Algo string
+	// Seed is the request's sweep seed, derived from (mix seed, slot).
+	Seed int64
+}
+
+// TrafficMix assigns each pacer slot a weighted draw from its entries.
+// The draw is a pure function of (seed, entries, slot) — gen.SubSeed
+// streams, no shared rng state — so the cell sequence of a run spec
+// replays byte-identically and is independent of request completion
+// order. Construct with NewMix.
+type TrafficMix struct {
+	entries []MixEntry
+	cum     []float64 // cumulative weights, cum[len-1] = total
+	seed    int64
+}
+
+// NewMix validates the entries (parseable single-cell specs, registered
+// algorithms, positive weights) and returns the mix.
+func NewMix(seed int64, entries []MixEntry) (*TrafficMix, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("loadgen: empty traffic mix")
+	}
+	m := &TrafficMix{entries: entries, seed: seed, cum: make([]float64, len(entries))}
+	total := 0.0
+	for i, e := range entries {
+		// gen.Parse rejects range syntax (values must be plain numbers), so
+		// a grid spec that would expand to many cells fails here, where the
+		// error can name the entry.
+		if _, _, err := gen.Parse(e.Spec); err != nil {
+			return nil, fmt.Errorf("loadgen: mix entry %d: %w", i, err)
+		}
+		if _, ok := sweep.AlgoByName(e.Algo); !ok {
+			return nil, fmt.Errorf("loadgen: mix entry %d: unknown algorithm %q (valid: %v)", i, e.Algo, sweep.AlgoNames())
+		}
+		if e.Weight <= 0 {
+			return nil, fmt.Errorf("loadgen: mix entry %d (%s): weight %v must be positive", i, e.Spec, e.Weight)
+		}
+		total += e.Weight
+		m.cum[i] = total
+	}
+	return m, nil
+}
+
+// Entries returns the mix entries for report encoding.
+func (m *TrafficMix) Entries() []MixEntry { return m.entries }
+
+// Draw returns slot's request: a weighted entry choice and a per-slot
+// sweep seed, both derived from independent SubSeed streams of the mix
+// seed.
+func (m *TrafficMix) Draw(slot int) Request {
+	s := strconv.Itoa(slot)
+	u := unitFloat(gen.SubSeed(m.seed, "loadgen-mix", s))
+	x := u * m.cum[len(m.cum)-1]
+	// First entry whose cumulative weight exceeds x (u < 1, so x < total
+	// and the search always lands on a real entry).
+	i := sort.SearchFloat64s(m.cum, x)
+	if i == len(m.entries) {
+		i--
+	}
+	e := m.entries[i]
+	return Request{Slot: slot, Grid: e.Spec, Algo: e.Algo,
+		Seed: gen.SubSeed(m.seed, "loadgen-slot", s)}
+}
+
+// Sequence materialises the first n draws — the replay determinism tests
+// compare whole sequences.
+func (m *TrafficMix) Sequence(n int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = m.Draw(i)
+	}
+	return reqs
+}
+
+// unitFloat maps a SubSeed-derived value to [0, 1): the top 53 bits as a
+// uniform double.
+func unitFloat(seed int64) float64 {
+	return float64(uint64(seed)>>11) / float64(uint64(1)<<53)
+}

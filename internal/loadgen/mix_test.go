@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+func TestMixReplayDeterminism(t *testing.T) {
+	entries := []MixEntry{
+		{Spec: "regular:n=64,k=4", Algo: "greedy", Weight: 3},
+		{Spec: "path:n=64", Algo: "greedy", Weight: 1},
+		{Spec: "tree:n=64", Algo: "greedy", Weight: 1},
+	}
+	a, err := NewMix(7, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMix(7, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	if !reflect.DeepEqual(a.Sequence(n), b.Sequence(n)) {
+		t.Fatal("two mixes with identical (seed, entries) drew different sequences")
+	}
+	// Draws are value-addressed by slot, not stateful: drawing out of order
+	// or repeatedly changes nothing.
+	for _, slot := range []int{250, 3, 250, 499, 0} {
+		if got, want := a.Draw(slot), b.Sequence(n)[slot]; got != want {
+			t.Fatalf("Draw(%d) = %+v, want %+v", slot, got, want)
+		}
+	}
+}
+
+func TestMixSeedSensitivity(t *testing.T) {
+	entries := DefaultMix()
+	a, err := NewMix(1, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMix(2, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	sa, sb := a.Sequence(n), b.Sequence(n)
+	same := 0
+	for i := range sa {
+		if sa[i].Seed == sb[i].Seed {
+			same++
+		}
+		if sa[i].Slot != i || sb[i].Slot != i {
+			t.Fatalf("slot mislabelled at %d", i)
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/%d per-request seeds collide across mix seeds", same, n)
+	}
+	if reflect.DeepEqual(sa, sb) {
+		t.Fatal("different seeds drew identical sequences")
+	}
+}
+
+// TestMixWeightsSteerDraws: an entry with overwhelming weight should
+// dominate the draw counts — a sanity bound, not a distribution test.
+func TestMixWeightsSteerDraws(t *testing.T) {
+	m, err := NewMix(42, []MixEntry{
+		{Spec: "path:n=32", Algo: "greedy", Weight: 99},
+		{Spec: "cycle:n=32", Algo: "greedy", Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	heavy := 0
+	for _, r := range m.Sequence(n) {
+		if r.Grid == "path:n=32" {
+			heavy++
+		}
+	}
+	if heavy < n*9/10 {
+		t.Fatalf("99:1 weighting drew the heavy entry only %d/%d times", heavy, n)
+	}
+	if heavy == n {
+		t.Fatalf("99:1 weighting never drew the light entry in %d draws", n)
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		entries []MixEntry
+	}{
+		{"empty", nil},
+		{"bad spec", []MixEntry{{Spec: "nosuchfamily:n=8", Algo: "greedy", Weight: 1}}},
+		{"range spec", []MixEntry{{Spec: "regular:n=64..256,k=4", Algo: "greedy", Weight: 1}}},
+		{"bad algo", []MixEntry{{Spec: "path:n=8", Algo: "nosuchalgo", Weight: 1}}},
+		{"zero weight", []MixEntry{{Spec: "path:n=8", Algo: "greedy", Weight: 0}}},
+		{"negative weight", []MixEntry{{Spec: "path:n=8", Algo: "greedy", Weight: -2}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewMix(1, tc.entries); err == nil {
+				t.Fatalf("NewMix accepted %+v", tc.entries)
+			}
+		})
+	}
+}
+
+// TestDefaultMixCoversEveryFamily: the default mix is one entry per
+// registered default grid, all valid.
+func TestDefaultMixCoversEveryFamily(t *testing.T) {
+	entries := DefaultMix()
+	if want := len(sweep.DefaultGrids()); len(entries) != want {
+		t.Fatalf("DefaultMix has %d entries, DefaultGrids %d", len(entries), want)
+	}
+	if _, err := NewMix(1, entries); err != nil {
+		t.Fatalf("DefaultMix does not validate: %v", err)
+	}
+}
+
+func TestUnitFloatRange(t *testing.T) {
+	for _, s := range []int64{0, 1, -1, 1 << 62, -(1 << 62), 12345678901234567} {
+		u := unitFloat(s)
+		if u < 0 || u >= 1 {
+			t.Fatalf("unitFloat(%d) = %v, outside [0,1)", s, u)
+		}
+	}
+}

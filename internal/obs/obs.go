@@ -187,7 +187,14 @@ func (h *Histogram) Sum() float64 {
 // linear interpolation inside the bucket holding the target rank — the
 // same estimate PromQL's histogram_quantile computes. The error is bounded
 // by the width of that bucket; values beyond the last finite bound clamp
-// to it. Returns NaN with no observations.
+// to it.
+//
+// Zero observations return NaN, never 0 — "no data" must stay
+// distinguishable from "every observation was 0" (a real quantile). The
+// semantics are part of the package contract (pinned by test, and shared
+// by ParsedHistogram.Quantile on the scrape path): callers that encode
+// quantiles into JSON — which cannot represent NaN — must map it to an
+// absent field, as the loadgen report does, not to a fabricated zero.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return math.NaN()

@@ -171,7 +171,7 @@ func TestConcurrentIncrements(t *testing.T) {
 			for i := 0; i < each; i++ {
 				c.Inc()
 				g.Add(1)
-				h.Observe(float64(i%2)) // alternates the two buckets
+				h.Observe(float64(i % 2)) // alternates the two buckets
 				peak.SetMax(float64(w*each + i))
 			}
 			// Concurrent registration of the same series must converge.

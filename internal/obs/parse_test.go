@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseRoundTrip is the core contract of the scrape path: parsing
+// WritePrometheus' own output recovers every value and histogram exactly,
+// and a parsed histogram answers Quantile identically to the live one it
+// was scraped from.
+func TestParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "Requests.", L("endpoint", "/v1/sweep"), L("code", "200")).Add(17)
+	r.Counter("requests_total", "Requests.", L("endpoint", "/v1/sweep"), L("code", "503")).Add(3)
+	r.Gauge("slots_in_use", "Slots.").Set(2.5)
+	r.GaugeFunc("stored", "Stored.", func() float64 { return 42 })
+	h := r.Histogram("request_seconds", "Latency.", nil, L("endpoint", "/v1/sweep"))
+	for _, v := range []float64{0.0001, 0.0004, 0.002, 0.002, 0.03, 0.8, 4, 20} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParsePrometheus: %v\ninput:\n%s", err, b.String())
+	}
+
+	if v, ok := snap.Value("requests_total", L("code", "200"), L("endpoint", "/v1/sweep")); !ok || v != 17 {
+		t.Errorf("requests_total{200} = %v, %v; want 17, true", v, ok)
+	}
+	if v, ok := snap.Value("requests_total", L("code", "503"), L("endpoint", "/v1/sweep")); !ok || v != 3 {
+		t.Errorf("requests_total{503} = %v, %v; want 3, true", v, ok)
+	}
+	if v, ok := snap.Value("slots_in_use"); !ok || v != 2.5 {
+		t.Errorf("slots_in_use = %v, %v; want 2.5, true", v, ok)
+	}
+	if v, ok := snap.Value("stored"); !ok || v != 42 {
+		t.Errorf("stored = %v, %v; want 42, true", v, ok)
+	}
+	if f := snap.Families["requests_total"]; f.Kind != "counter" {
+		t.Errorf("requests_total kind = %q", f.Kind)
+	}
+
+	ph, ok := snap.Histogram("request_seconds", L("endpoint", "/v1/sweep"))
+	if !ok {
+		t.Fatal("histogram series not found")
+	}
+	if !ph.boundsAscend() {
+		t.Fatalf("parsed bucket bounds not ascending: %v", ph.Upper)
+	}
+	if ph.Count != h.Count() || ph.Sum != h.Sum() {
+		t.Errorf("count/sum = %d/%v, want %d/%v", ph.Count, ph.Sum, h.Count(), h.Sum())
+	}
+	if len(ph.Upper) != len(DefaultLatencyBuckets()) || len(ph.Cum) != len(ph.Upper)+1 {
+		t.Fatalf("bucket shape: %d upper, %d cum", len(ph.Upper), len(ph.Cum))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if got, want := ph.Quantile(q), h.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v parsed vs %v live", q, got, want)
+		}
+	}
+}
+
+// TestParseToleratesUnknownFamilies: kinds and families this parser does
+// not model pass through as untyped samples, and histogram-suffix-shaped
+// names without a histogram TYPE stay ordinary families.
+func TestParseToleratesUnknownFamilies(t *testing.T) {
+	input := `# HELP weird_summary A kind we do not model.
+# TYPE weird_summary summary
+weird_summary{quantile="0.5"} 0.2
+weird_summary_sum 12
+weird_summary_count 60
+no_type_line_total 5
+go_gc_duration_seconds_count 9
+# mid-stream comment
+plain{a="x,y",b="q\"uote"} 1.5
+`
+	snap, err := ParsePrometheus(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := snap.Families["weird_summary"]; f == nil || f.Kind != "summary" {
+		t.Fatalf("weird_summary family = %+v", snap.Families["weird_summary"])
+	}
+	// The summary's _sum/_count are NOT histogram parts (no histogram
+	// TYPE), so they are their own untyped families.
+	if v, ok := snap.Value("weird_summary_sum"); !ok || v != 12 {
+		t.Errorf("weird_summary_sum = %v, %v", v, ok)
+	}
+	if v, ok := snap.Value("no_type_line_total"); !ok || v != 5 {
+		t.Errorf("no_type_line_total = %v, %v", v, ok)
+	}
+	if v, ok := snap.Value("go_gc_duration_seconds_count"); !ok || v != 9 {
+		t.Errorf("go_gc_duration_seconds_count = %v, %v", v, ok)
+	}
+	if v, ok := snap.Value("plain", L("a", "x,y"), L("b", `q"uote`)); !ok || v != 1.5 {
+		t.Errorf("plain with escaped labels = %v, %v", v, ok)
+	}
+	if f := snap.Families["no_type_line_total"]; f.Kind != "untyped" {
+		t.Errorf("no_type_line_total kind = %q", f.Kind)
+	}
+}
+
+func TestParseRejectsGarbageAndTornHistograms(t *testing.T) {
+	for name, input := range map[string]string{
+		"no value":       "just_a_name\n",
+		"bad float":      "metric twelve\n",
+		"unterminated":   `metric{a="x} 1` + "\n",
+		"torn histogram": "# TYPE h histogram\nh_bucket{le=\"0.1\"} 3\nh_sum 1\nh_count 3\n",
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+// TestQuantileZeroObservations pins the NaN-vs-0 contract on both ends of
+// the scrape path: no data answers NaN (never 0), on the live histogram,
+// the parsed histogram, and a parsed histogram from an empty-but-present
+// triplet.
+func TestQuantileZeroObservations(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("empty_seconds", "Empty.", nil)
+	if q := h.Quantile(0.99); !math.IsNaN(q) {
+		t.Errorf("live empty Quantile = %v, want NaN", q)
+	}
+	var nilH *Histogram
+	if q := nilH.Quantile(0.5); !math.IsNaN(q) {
+		t.Errorf("nil histogram Quantile = %v, want NaN", q)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, ok := snap.Histogram("empty_seconds")
+	if !ok {
+		t.Fatal("empty histogram not parsed")
+	}
+	if q := ph.Quantile(0.99); !math.IsNaN(q) {
+		t.Errorf("parsed empty Quantile = %v, want NaN", q)
+	}
+	var nilPH *ParsedHistogram
+	if q := nilPH.Quantile(0.5); !math.IsNaN(q) {
+		t.Errorf("nil parsed histogram Quantile = %v, want NaN", q)
+	}
+
+	// One observation flips both to the same real number.
+	h.Observe(0.003)
+	b.Reset()
+	r.WritePrometheus(&b)
+	snap, err = ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, _ = snap.Histogram("empty_seconds")
+	if got, want := ph.Quantile(0.5), h.Quantile(0.5); got != want || math.IsNaN(got) {
+		t.Errorf("after one observation: parsed %v vs live %v", got, want)
+	}
+}
+
+// TestParseValueSpellings covers the spec's non-finite spellings, which
+// WritePrometheus emits for gauges that were never Set and NaN sums.
+func TestParseValueSpellings(t *testing.T) {
+	input := "a NaN\nb +Inf\nc -Inf\nd 1e-05\n"
+	snap, err := ParsePrometheus(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := snap.Value("a"); !math.IsNaN(v) {
+		t.Errorf("a = %v, want NaN", v)
+	}
+	if v, _ := snap.Value("b"); !math.IsInf(v, 1) {
+		t.Errorf("b = %v, want +Inf", v)
+	}
+	if v, _ := snap.Value("c"); !math.IsInf(v, -1) {
+		t.Errorf("c = %v, want -Inf", v)
+	}
+	if v, _ := snap.Value("d"); v != 1e-05 {
+		t.Errorf("d = %v, want 1e-05", v)
+	}
+}
