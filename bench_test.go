@@ -17,6 +17,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/group"
 	"repro/internal/harness"
 	"repro/internal/runtime"
 	"repro/internal/sweep"
@@ -189,6 +190,49 @@ func BenchmarkWorkersScaling(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkEngineTailRounds isolates the per-round liveness-scan cost the
+// bitset frontiers attack: a §1.2 worst-case path of k edges embedded in a
+// sea of isolated nodes, so greedy runs ~k rounds with a handful of live
+// nodes each. An engine that walks all n nodes (or halted flags) per round
+// pays O(nk) for the tail; a 64-bit word frontier pays O(nk/64 + live).
+func BenchmarkEngineTailRounds(b *testing.B) {
+	const k = 512
+	for _, n := range []int{1 << 18, 1 << 20} {
+		if n > 1<<18 && testing.Short() {
+			continue
+		}
+		bld := graph.NewCSRBuilder(n, k)
+		for i := 0; i < k; i++ {
+			if err := bld.AddEdge(i, i+1, group.Color(k-i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		g, err := bld.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.Flatten()
+		pool := dist.NewGreedyMachinePool(n)
+		prefix := "n=" + strconv.Itoa(n) + "/"
+		b.Run(prefix+"sequential", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := runtime.RunSequential(g, pool, k+16); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(prefix+"workers=2", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := runtime.RunWorkersN(g, nil, pool, k+16, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -95,6 +95,7 @@ func run() int {
 	leaseTimeout := flag.Duration("lease-timeout", shard.DefaultLeaseTimeout, "kill a supervised worker making no visible progress for this long")
 	maxAttempts := flag.Int("max-attempts", shard.DefaultMaxAttempts, "abandon a shard after this many worker launches")
 	progress := flag.Duration("progress", 0, "print a cells-done/rows-per-second/ETA line to stderr at this interval (0 = off)")
+	sidecarOut := flag.String("perround-sidecar", "", "divert per_round histograms to this sidecar JSONL (delta+varint packed, keyed by cell id); -out rows then omit per_round")
 	traceFile := flag.String("trace", "", "write one JSON span line per resolve/run/emit step to this file")
 	metricsOut := flag.String("metrics-out", "", "on exit, write the run's metrics (Prometheus text format) to this file")
 	flag.Parse()
@@ -235,12 +236,32 @@ func run() int {
 		stopProgress = cfg.Metrics.StartProgress(os.Stderr, *progress)
 	}
 
+	// The sidecar wraps only the row writer: aggregates and violation
+	// collection see full rows either way (they never read per_round).
+	rowSink := sweep.Sink(jsonlSink)
+	var sidecarClose func() error
+	if *sidecarOut != "" {
+		f, err := os.Create(*sidecarOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmsweep: %v\n", err)
+			return finish(cli.Classify(err))
+		}
+		o := cli.WrapOut(f)
+		rowSink = sweep.NewSidecarSink(jsonlSink, o.Writer())
+		sidecarClose = o.Close
+	}
+
 	var agg sweep.AggregateSink
 	var vio sweep.ViolationsSink
-	stats, err := sweep.Stream(context.Background(), cfg, sweep.MultiSink(jsonlSink, &agg, &vio))
+	stats, err := sweep.Stream(context.Background(), cfg, sweep.MultiSink(rowSink, &agg, &vio))
 	stopProgress()
 	if flushClose != nil {
 		if cerr := flushClose(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if sidecarClose != nil {
+		if cerr := sidecarClose(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}

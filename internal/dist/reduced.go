@@ -38,6 +38,7 @@ type ReducedGreedyMachine struct {
 	sched   []Step
 	schedK  int           // palette the cached schedule was computed for (0 = none)
 	next    []group.Color // phase-1 scratch: colours after the current step
+	peer    []group.Color // receive scratch: the last decoded packed peer list
 	blocked []int         // scratch for blockedFor, reused across rounds
 	sRounds int           // phase-1 rounds (= len(sched))
 	rRounds int           // phase-2 rounds (= fixed-point palette − (2Δ−1), if positive)
@@ -119,17 +120,14 @@ func (m *ReducedGreedyMachine) greedyStart() {
 
 // colorList snapshots the node's current edge colours as a *ColorList; the
 // same payload is sent on every edge (receivers only read it). With an
-// arena the snapshot lives in the worker's pooled slab and costs nothing;
-// without one (sequential/concurrent engines) it is heap-allocated.
+// arena the snapshot is delta+varint packed into the worker's pooled byte
+// slab and costs nothing; without one (sequential/concurrent engines) it
+// is an eager heap copy.
 func (m *ReducedGreedyMachine) colorList(arena *runtime.RoundArena) *runtime.ColorList {
-	var l *runtime.ColorList
 	if arena != nil {
-		l = arena.ColorList(len(m.cur))
-	} else {
-		l = &runtime.ColorList{Colors: make([]group.Color, 0, len(m.cur))}
+		return arena.Pack(m.cur)
 	}
-	l.Colors = append(l.Colors, m.cur...)
-	return l
+	return &runtime.ColorList{Colors: append(make([]group.Color, 0, len(m.cur)), m.cur...)}
 }
 
 // greedyPos returns the position whose reduced class is decided in the
@@ -269,6 +267,9 @@ func (m *ReducedGreedyMachine) receive(get func(group.Color) (runtime.Message, b
 // peerList extracts the colour list the peer behind position i sent this
 // round. During the reduction phases every non-isolated node is live, so a
 // missing or malformed message is a protocol violation, not a halt signal.
+// Eager lists are read zero-copy; packed lists decode into the machine's
+// reusable scratch (valid until the next call), so neither representation
+// allocates at steady state.
 func (m *ReducedGreedyMachine) peerList(get func(group.Color) (runtime.Message, bool), i int) []group.Color {
 	msg, ok := get(m.colors[i])
 	if !ok {
@@ -278,7 +279,11 @@ func (m *ReducedGreedyMachine) peerList(get func(group.Color) (runtime.Message, 
 	if !ok {
 		panic("dist: reduction round received a non-colour-list message")
 	}
-	return list.Colors
+	if cols := list.Eager(); cols != nil || list.Len() == 0 {
+		return cols
+	}
+	m.peer = list.AppendTo(m.peer[:0])
+	return m.peer
 }
 
 // ReceiveFlat implements runtime.FlatMachine.

@@ -23,17 +23,33 @@ func ClassSeeds(name string, seed int64, k int) []int64 {
 	return seeds
 }
 
+// BlockSeeds derives one independent rng-stream seed per draw block for
+// the sharded bounded-degree construction: block i of a (scenario, seed)
+// build draws from SubSeed(seed, name, "block", i). Value-addressed like
+// ClassSeeds — independent of worker count and iteration order.
+func BlockSeeds(name string, seed int64, blocks int) []int64 {
+	if blocks < 0 {
+		blocks = 0
+	}
+	seeds := make([]int64, blocks)
+	for i := range seeds {
+		seeds[i] = SubSeed(seed, name, "block", strconv.Itoa(i))
+	}
+	return seeds
+}
+
 // Sharded reports whether the scenario has a sharded construction path
-// (matching-union and regular — the families whose per-colour-class
-// structure parallelises).
+// (matching-union and regular shard by colour class, bounded-degree by
+// draw block).
 func (s Scenario) Sharded() bool { return s.genSharded != nil }
 
 // BuildParallel instantiates the scenario with the instance construction
-// itself sharded across `workers` goroutines: the per-colour-class edge
-// generation runs concurrently (each class on its own ClassSeeds stream),
-// the classes merge in colour order, and the CSR degree-count/fill pass
-// runs in parallel over node ranges. Families without a sharded path fall
-// back to the sequential Build.
+// itself sharded across `workers` goroutines: the per-shard edge
+// generation runs concurrently (colour classes on ClassSeeds streams, or
+// draw blocks on BlockSeeds streams for bounded-degree), the shards merge
+// in canonical order, and the CSR degree-count/fill pass runs in parallel
+// over node ranges. Families without a sharded path fall back to the
+// sequential Build.
 //
 // The output is deterministic in (name, params, seed) and INDEPENDENT of
 // workers — BuildParallel(seed, p, 1) and BuildParallel(seed, p, 16) are
@@ -54,7 +70,7 @@ func (s Scenario) BuildParallel(seed int64, overrides Params, workers int) (*Ins
 	if workers < 1 {
 		workers = 1
 	}
-	inst, err := s.genSharded(p, ClassSeeds(s.Name, seed, p.Int("k")), workers)
+	inst, err := s.genSharded(p, seed, workers)
 	if err != nil {
 		return nil, fmt.Errorf("gen: %s: %w", s.Name, err)
 	}

@@ -35,7 +35,7 @@ func sameGraph(t *testing.T, name string, got, want *graph.Graph) {
 // instance named by (name, params, seed) is byte-identical across worker
 // counts — the whole point of the per-class streams.
 func TestBuildParallelWorkerIndependence(t *testing.T) {
-	for _, spec := range []string{"matching-union:n=2048,k=6", "regular:n=2048,k=4"} {
+	for _, spec := range []string{"matching-union:n=2048,k=6", "regular:n=2048,k=4", "bounded-degree:n=2048,k=64,delta=3"} {
 		s, overrides, err := Parse(spec)
 		if err != nil {
 			t.Fatal(err)
@@ -143,5 +143,27 @@ func TestClassSeeds(t *testing.T) {
 	}
 	if len(ClassSeeds("x", 1, -3)) != 0 {
 		t.Error("negative k should yield no seeds")
+	}
+}
+
+// TestBlockSeeds: same contract for the bounded-degree draw-block streams.
+func TestBlockSeeds(t *testing.T) {
+	a := BlockSeeds("bounded-degree", 7, 5)
+	if !reflect.DeepEqual(a, BlockSeeds("bounded-degree", 7, 5)) {
+		t.Fatal("BlockSeeds not deterministic")
+	}
+	seen := map[int64]bool{}
+	for _, s := range a {
+		if seen[s] {
+			t.Fatal("duplicate block seed")
+		}
+		seen[s] = true
+	}
+	// Block and class streams of the same scenario must not collide.
+	if a[0] == ClassSeeds("bounded-degree", 7, 1)[0] {
+		t.Error("block stream 0 collides with class stream 1")
+	}
+	if len(BlockSeeds("x", 1, -3)) != 0 {
+		t.Error("negative blocks should yield no seeds")
 	}
 }

@@ -92,15 +92,17 @@ type Instance struct {
 
 // Scenario is one registered graph family. Params holds the defaults;
 // Build instantiates the family from a seed after merging overrides.
-// Families whose construction shards by colour class additionally carry
-// genSharded, the parallel path BuildParallel drives (seeds has one
-// ClassSeeds entry per colour class).
+// Families with a parallelisable construction additionally carry
+// genSharded, the path BuildParallel drives: it receives the raw instance
+// seed and derives its own per-shard streams (ClassSeeds for the
+// colour-class families, BlockSeeds for bounded-degree), so each family
+// owns its stream naming.
 type Scenario struct {
 	Name       string
 	Doc        string
 	Params     Params
 	gen        func(p Params, rng *rand.Rand) (*Instance, error)
-	genSharded func(p Params, seeds []int64, workers int) (*Instance, error)
+	genSharded func(p Params, seed int64, workers int) (*Instance, error)
 }
 
 // Build instantiates the scenario: overrides (may be nil) are merged onto

@@ -289,6 +289,86 @@ func ShardedMatchingUnion(n, k int, density float64, classSeeds []int64, workers
 	return b.BuildParallel(workers)
 }
 
+// boundedDegreeBlockDraws is the fixed block size of the sharded
+// bounded-degree construction: attempts split into blocks of this many
+// draws, each block on its own rng stream. The size is part of the
+// instance naming — changing it renames every sharded bounded-degree
+// instance — so it is a constant, not a tuning knob.
+const boundedDegreeBlockDraws = 4096
+
+// BoundedDegreeBlocks is the number of draw blocks the sharded
+// bounded-degree construction uses for a given attempt budget; the caller
+// derives one block seed per block.
+func BoundedDegreeBlocks(attempts int) int {
+	if attempts <= 0 {
+		return 0
+	}
+	return (attempts + boundedDegreeBlockDraws - 1) / boundedDegreeBlockDraws
+}
+
+// ShardedBoundedDegree is the sharded counterpart of RandomBoundedDegree.
+// The sequential construction cannot shard as-is: it draws a colour only
+// AFTER an attempt passes the degree check, so every draw's position in the
+// single rng stream depends on all prior acceptances. The sharded family
+// decouples generation from acceptance with a block-reservation scheme:
+// attempts split into fixed blocks of boundedDegreeBlockDraws draws, block
+// i draws all of its (u, v, colour) triples UNCONDITIONALLY from its own
+// private stream blockSeeds[i] — generation is then state-free and runs
+// concurrently — and a sequential in-order merge applies the degree and
+// colouring checks with the same skip semantics as the sequential loop.
+// Output depends only on (n, k, delta, attempts, blockSeeds), never on the
+// worker count; as with the other Sharded* families it names a different
+// instance than RandomBoundedDegree for the same seed, which sweeps record
+// via the builder tag.
+func ShardedBoundedDegree(n, k, delta, attempts int, blockSeeds []int64, workers int) (*Graph, error) {
+	if n < 2 || k < 1 || delta < 1 {
+		return nil, fmt.Errorf("graph: ShardedBoundedDegree needs n ≥ 2, k ≥ 1, delta ≥ 1, got n=%d k=%d delta=%d", n, k, delta)
+	}
+	blocks := BoundedDegreeBlocks(attempts)
+	if len(blockSeeds) != blocks {
+		return nil, fmt.Errorf("graph: ShardedBoundedDegree needs %d block seeds for %d attempts, got %d",
+			blocks, attempts, len(blockSeeds))
+	}
+	type triple struct {
+		u, v int32
+		c    group.Color
+	}
+	drawn := make([][]triple, blocks)
+	forEachClass(blocks, workers, func(bi int) {
+		lo := (bi - 1) * boundedDegreeBlockDraws
+		draws := attempts - lo
+		if draws > boundedDegreeBlockDraws {
+			draws = boundedDegreeBlockDraws
+		}
+		rng := rand.New(rand.NewSource(blockSeeds[bi-1]))
+		ts := make([]triple, draws)
+		for i := range ts {
+			ts[i] = triple{
+				u: int32(rng.Intn(n)),
+				v: int32(rng.Intn(n)),
+				c: group.Color(1 + rng.Intn(k)),
+			}
+		}
+		drawn[bi-1] = ts
+	})
+	b := NewCSRBuilder(n, k)
+	if hint := n * delta / 2; hint < attempts {
+		b.Grow(hint)
+	} else {
+		b.Grow(attempts)
+	}
+	for _, ts := range drawn {
+		for _, t := range ts {
+			u, v := int(t.u), int(t.v)
+			if u == v || b.Degree(u) >= delta || b.Degree(v) >= delta {
+				continue
+			}
+			b.TryAddEdge(u, v, t.c)
+		}
+	}
+	return b.BuildParallel(workers)
+}
+
 // ShardedRegular is the sharded counterpart of RandomRegular: each colour
 // class is a random perfect matching drawn from its private stream, first
 // attempts generated concurrently, with conflict resampling (a class whose

@@ -171,6 +171,57 @@ func TestShardedRegularResampling(t *testing.T) {
 
 // TestShardedRegularImpossible: a shape with no simple k-regular
 // realisation fails cleanly instead of panicking or looping.
+// sequentialBoundedDegree is the one-worker reference for the sharded
+// bounded-degree construction: blocks drawn and merged strictly in order,
+// on the sequential Build.
+func sequentialBoundedDegree(t *testing.T, n, k, delta, attempts int, seeds []int64) *Graph {
+	t.Helper()
+	b := NewCSRBuilder(n, k)
+	for bi, draws := 0, 0; draws < attempts; bi++ {
+		rng := rand.New(rand.NewSource(seeds[bi]))
+		for i := 0; i < boundedDegreeBlockDraws && draws < attempts; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			c := group.Color(1 + rng.Intn(k))
+			draws++
+			if u == v || b.Degree(u) >= delta || b.Degree(v) >= delta {
+				continue
+			}
+			b.TryAddEdge(u, v, c)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestShardedBoundedDegreePinned: the block-reservation construction is
+// byte-identical to its sequential reference for any worker count, at a
+// size spanning several draw blocks and at a small size where the degree
+// cap rejects most attempts (the merge's state dependence at its worst).
+func TestShardedBoundedDegreePinned(t *testing.T) {
+	cases := []struct{ n, k, delta, attempts int }{
+		{8192, 64, 3, 5 * 8192}, // 10 blocks
+		{32, 8, 2, 5000},        // saturated: nearly every draw rejected
+		{100, 16, 4, 100},       // single partial block
+	}
+	if testing.Short() {
+		cases = cases[1:]
+	}
+	for _, tc := range cases {
+		seeds := classSeeds(BoundedDegreeBlocks(tc.attempts), int64(tc.n))
+		want := sequentialBoundedDegree(t, tc.n, tc.k, tc.delta, tc.attempts, seeds)
+		for _, workers := range []int{1, 4, 16} {
+			got, err := ShardedBoundedDegree(tc.n, tc.k, tc.delta, tc.attempts, seeds, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameCSR(t, "sharded bounded-degree", got, want)
+		}
+	}
+}
+
 func TestShardedRegularImpossible(t *testing.T) {
 	if _, err := ShardedRegular(2, 3, classSeeds(3, 1), 4); err == nil {
 		t.Fatal("n=2, k=3 accepted (needs parallel edges)")
@@ -191,6 +242,12 @@ func TestShardedArgumentErrors(t *testing.T) {
 	}
 	if _, err := ShardedRegular(8, 2, classSeeds(1, 1), 2); err == nil {
 		t.Error("wrong class-seed count accepted")
+	}
+	if _, err := ShardedBoundedDegree(1, 2, 3, 100, classSeeds(1, 1), 2); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := ShardedBoundedDegree(8, 2, 3, 100, classSeeds(2, 1), 2); err == nil {
+		t.Error("wrong block-seed count accepted")
 	}
 }
 

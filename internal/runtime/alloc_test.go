@@ -1,0 +1,45 @@
+package runtime_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/runtime"
+)
+
+// TestWorkersRoundLoopAllocFree pins the bitset round loop as allocation-
+// free: after the pooled state is warm, per-run allocations must not scale
+// with the number of rounds. Two greedy runs at the same n but different
+// round counts should cost the same fixed setup allocations (goroutines,
+// outputs, Stats) — any per-round allocation would show up as a slope.
+func TestWorkersRoundLoopAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	short := graph.RandomMatchingUnion(256, 2, 0.7, rng)
+	long := graph.RandomMatchingUnion(256, 8, 0.7, rng)
+	src := dist.NewGreedyMachinePool(256)
+
+	run := func(g *graph.Graph) (rounds int) {
+		_, stats, err := runtime.RunWorkersN(g, nil, src, 128, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Rounds
+	}
+	// Warm the pool so both measurements see identical reuse.
+	rShort := run(short)
+	rLong := run(long)
+	if rLong <= rShort {
+		t.Fatalf("test graphs degenerate: %d rounds vs %d, need a spread", rLong, rShort)
+	}
+
+	aShort := testing.AllocsPerRun(10, func() { run(short) })
+	aLong := testing.AllocsPerRun(10, func() { run(long) })
+	// Setup allocations are identical at fixed n and workers; allow one
+	// stray alloc of slack for runtime noise (goroutine stack growth etc).
+	if aLong > aShort+1 {
+		t.Errorf("allocations scale with rounds: %.1f at %d rounds vs %.1f at %d rounds",
+			aLong, rLong, aShort, rShort)
+	}
+}

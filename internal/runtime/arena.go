@@ -1,21 +1,71 @@
 package runtime
 
-import "repro/internal/group"
+import (
+	"encoding/binary"
+
+	"repro/internal/group"
+)
 
 // ColorList is the colour-list message payload used by the reduction-style
 // machines: a node's current incident edge colours, snapshotted for one
 // round. Machines send *ColorList rather than a bare slice because boxing a
 // pointer into the Message interface stores a single word and never
 // allocates, whereas boxing a slice copies a three-word header to the heap
-// on every send. Receivers may read Colors during their receive call only;
-// the backing memory is recycled when the round ends.
+// on every send. Receivers may read the list during their receive call
+// only; the backing memory is recycled when the round ends.
+//
+// A list holds one of two representations: eager (Colors, the heap path of
+// the sequential/concurrent engines) or packed (a delta+varint byte string
+// bump-allocated by RoundArena.Pack — consecutive colours are close after
+// the Linial steps, so most deltas fit one byte and the arena's slab
+// traffic shrinks roughly 8×). WireBytes is 8 bytes per colour in either
+// case: packing is an engine-internal storage optimisation, not a change
+// to the model's wire vocabulary, so the traffic histograms — and the
+// paper's communication bounds checked against them — are unaffected.
 type ColorList struct {
 	Colors []group.Color
+	packed []byte
+	count  int
+}
+
+// Len is the number of colours in the list.
+func (l *ColorList) Len() int {
+	if l.packed != nil {
+		return l.count
+	}
+	return len(l.Colors)
 }
 
 // WireBytes implements Sizer for the traffic histograms: a colour list
-// costs one machine word per colour on the wire.
-func (l *ColorList) WireBytes() int { return 8 * len(l.Colors) }
+// costs one machine word per colour on the wire, however it is stored.
+func (l *ColorList) WireBytes() int { return 8 * l.Len() }
+
+// Eager returns the eagerly-stored colours, or nil when the list is packed
+// (decode with AppendTo). Receivers use it to keep the heap path zero-copy.
+func (l *ColorList) Eager() []group.Color {
+	if l.packed != nil {
+		return nil
+	}
+	return l.Colors
+}
+
+// AppendTo appends the list's colours to dst and returns it. Packed lists
+// are decoded in place — zigzag uvarint deltas, the inverse of Pack — so a
+// receiver with a reusable scratch buffer reads them without allocating.
+func (l *ColorList) AppendTo(dst []group.Color) []group.Color {
+	if l.packed == nil {
+		return append(dst, l.Colors...)
+	}
+	p := l.packed
+	prev := int64(0)
+	for i := 0; i < l.count; i++ {
+		u, n := binary.Uvarint(p)
+		p = p[n:]
+		prev += int64(u>>1) ^ -int64(u&1)
+		dst = append(dst, group.Color(prev))
+	}
+	return dst
+}
 
 // RoundArena is a per-worker bump allocator for one round's outgoing
 // message payloads. The engine hands it to ArenaMachine implementations
@@ -39,14 +89,14 @@ func (l *ColorList) WireBytes() int { return 8 * len(l.Colors) }
 type RoundArena struct {
 	lists  []ColorList
 	colors []group.Color
+	bytes  []byte
 	nl, nc int
+	nb     int
 }
 
-// ColorList returns a zero-length list with capacity for n colours, valid
-// until the next Reset. Growth reallocates the slabs, but payloads already
-// handed out keep the old backing arrays alive, so outstanding messages
-// remain intact.
-func (a *RoundArena) ColorList(n int) *ColorList {
+// newList hands out the next pooled list header; growth abandons the old
+// slab so payloads already handed out stay intact.
+func (a *RoundArena) newList() *ColorList {
 	if a.nl == len(a.lists) {
 		size := 2 * len(a.lists)
 		if size < 64 {
@@ -57,6 +107,15 @@ func (a *RoundArena) ColorList(n int) *ColorList {
 	}
 	l := &a.lists[a.nl]
 	a.nl++
+	return l
+}
+
+// ColorList returns a zero-length eager list with capacity for n colours,
+// valid until the next Reset. Growth reallocates the slabs, but payloads
+// already handed out keep the old backing arrays alive, so outstanding
+// messages remain intact.
+func (a *RoundArena) ColorList(n int) *ColorList {
+	l := a.newList()
 	if a.nc+n > len(a.colors) {
 		size := 2 * len(a.colors)
 		if size < n {
@@ -69,7 +128,43 @@ func (a *RoundArena) ColorList(n int) *ColorList {
 		a.nc = 0
 	}
 	l.Colors = a.colors[a.nc : a.nc : a.nc+n]
+	l.packed = nil
+	l.count = 0
 	a.nc += n
+	return l
+}
+
+// Pack encodes colors into a packed list — zigzag uvarint deltas between
+// consecutive colours, bump-allocated from the arena's byte slab — valid
+// until the next Reset. The caller keeps ownership of colors; the packed
+// copy is immutable. Like ColorList, growth abandons the old slab rather
+// than moving payloads that are already in flight.
+func (a *RoundArena) Pack(colors []group.Color) *ColorList {
+	l := a.newList()
+	need := binary.MaxVarintLen64 * len(colors)
+	if a.nb+need > len(a.bytes) {
+		size := 2 * len(a.bytes)
+		if size < need {
+			size = need
+		}
+		if size < 1024 {
+			size = 1024
+		}
+		a.bytes = make([]byte, size)
+		a.nb = 0
+	}
+	buf := a.bytes[a.nb:]
+	pos := 0
+	prev := int64(0)
+	for _, c := range colors {
+		d := int64(c) - prev
+		prev = int64(c)
+		pos += binary.PutUvarint(buf[pos:], uint64((d<<1)^(d>>63)))
+	}
+	l.Colors = nil
+	l.packed = a.bytes[a.nb : a.nb+pos : a.nb+pos]
+	l.count = len(colors)
+	a.nb += pos
 	return l
 }
 
@@ -79,6 +174,7 @@ func (a *RoundArena) ColorList(n int) *ColorList {
 func (a *RoundArena) Reset() {
 	a.nl = 0
 	a.nc = 0
+	a.nb = 0
 }
 
 // ArenaMachine is an optional extension of FlatMachine for machines whose

@@ -71,3 +71,113 @@ func TestRoundArenaZeroLength(t *testing.T) {
 		t.Fatalf("zero-capacity list has length %d", len(l.Colors))
 	}
 }
+
+// checkPackedRoundTrip packs colors and verifies the packed representation
+// decodes back exactly, with Len/WireBytes matching the eager equivalents.
+func checkPackedRoundTrip(t *testing.T, a *RoundArena, colors []group.Color) *ColorList {
+	t.Helper()
+	l := a.Pack(colors)
+	if l.Len() != len(colors) {
+		t.Fatalf("packed Len = %d, want %d", l.Len(), len(colors))
+	}
+	if l.WireBytes() != 8*len(colors) {
+		t.Fatalf("packed WireBytes = %d, want %d — packing must not change wire cost", l.WireBytes(), 8*len(colors))
+	}
+	if l.Eager() != nil {
+		t.Fatal("Eager() non-nil for a packed list")
+	}
+	got := l.AppendTo(nil)
+	if len(got) != len(colors) {
+		t.Fatalf("decoded %d colours, want %d", len(got), len(colors))
+	}
+	for i := range colors {
+		if got[i] != colors[i] {
+			t.Fatalf("colour %d decoded as %d, want %d (input %v)", i, got[i], colors[i], colors)
+		}
+	}
+	return l
+}
+
+// TestPackRoundTrip covers the delta+varint codec's shapes: ascending runs
+// (the common post-Linial case), descending runs (negative deltas, the
+// reason for zigzag), jumps that need multi-byte varints, and empties.
+func TestPackRoundTrip(t *testing.T) {
+	var a RoundArena
+	cases := [][]group.Color{
+		nil,
+		{5},
+		{1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1},
+		{7, 7, 7},
+		{1, 1 << 20, 3, 1 << 30, 2},
+		{1 << 30, 1, 1 << 29, 2},
+	}
+	for _, colors := range cases {
+		checkPackedRoundTrip(t, &a, colors)
+	}
+}
+
+// TestPackedPayloadsSurviveGrowth: like the eager-slab test above, but for
+// the byte slab — packed payloads handed out before a growth step must stay
+// decodable, since their messages are still in flight.
+func TestPackedPayloadsSurviveGrowth(t *testing.T) {
+	var a RoundArena
+	var lists []*ColorList
+	var want [][]group.Color
+	for i := 0; i < 500; i++ {
+		colors := []group.Color{group.Color(i), group.Color(i * 3), group.Color(1 << (i % 31))}
+		lists = append(lists, a.Pack(colors))
+		want = append(want, colors)
+	}
+	for i, l := range lists {
+		got := l.AppendTo(nil)
+		if len(got) != 3 || got[0] != want[i][0] || got[1] != want[i][1] || got[2] != want[i][2] {
+			t.Fatalf("packed payload %d corrupted after growth: %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+// TestAppendToReusesScratch: AppendTo into a pre-grown scratch buffer must
+// not allocate — this is the receive-path contract peerList relies on.
+func TestAppendToReusesScratch(t *testing.T) {
+	var a RoundArena
+	l := a.Pack([]group.Color{3, 9, 2, 40, 40, 7})
+	scratch := make([]group.Color, 0, 16)
+	allocs := testing.AllocsPerRun(10, func() {
+		scratch = l.AppendTo(scratch[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("AppendTo into sized scratch allocated %.1f times, want 0", allocs)
+	}
+}
+
+// FuzzColorListCodec round-trips arbitrary colour sequences through
+// Pack/AppendTo. Inputs are read as little-endian uint32 words masked to
+// non-negative Color values, so the fuzzer explores both tiny deltas (one-
+// byte varints) and wild jumps (multi-byte, sign flips).
+func FuzzColorListCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 127, 0, 0, 0, 0, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		colors := make([]group.Color, 0, len(data)/4)
+		for i := 0; i+4 <= len(data); i += 4 {
+			u := uint32(data[i]) | uint32(data[i+1])<<8 | uint32(data[i+2])<<16 | uint32(data[i+3])<<24
+			colors = append(colors, group.Color(u&0x7fffffff))
+		}
+		var a RoundArena
+		l := a.Pack(colors)
+		if l.Len() != len(colors) || l.WireBytes() != 8*len(colors) {
+			t.Fatalf("Len/WireBytes = %d/%d, want %d/%d", l.Len(), l.WireBytes(), len(colors), 8*len(colors))
+		}
+		got := l.AppendTo(nil)
+		for i := range colors {
+			if got[i] != colors[i] {
+				t.Fatalf("colour %d decoded as %d, want %d", i, got[i], colors[i])
+			}
+		}
+		if len(got) != len(colors) {
+			t.Fatalf("decoded %d colours, want %d", len(got), len(colors))
+		}
+	})
+}

@@ -55,12 +55,38 @@
 //     FlatMachine/ArenaMachine implementations through their fast paths
 //     (and plain Machines through maps), so the concurrent fast path is
 //     pinned against a sequential flat reference.
-//   - RunWorkers: a fixed worker pool with a round barrier, nodes sharded
-//     across workers in contiguous ranges balanced by degree sum, messages
-//     in the dense slab, per-worker RoundArenas for payloads. This is the
-//     engine that scales to millions of nodes.
+//   - RunWorkers: a fixed worker pool with a round barrier, live nodes
+//     tracked in a shared bitset frontier, work distributed by chunk
+//     stealing (below), messages in the dense slab, per-worker RoundArenas
+//     for payloads. This is the engine that scales to millions of nodes.
 //   - RunConcurrent: one goroutine per node with a buffered channel per
 //     directed edge — the small-n didactic engine; see below.
+//
+// # Bitset frontiers and work stealing
+//
+// Both slab engines track liveness in a 64-bit word bitset (bit v of word
+// v>>6 is set while node v runs), double-buffered per round: the receive
+// phase clears a halting node's bit in the next-round frontier with
+// AND-NOT and the buffers swap at the round barrier. Scans walk only a
+// live-word window [scanLo, scanHi) — liveness is monotone, so the window
+// only shrinks — and within a word iterate set bits with TrailingZeros64.
+// A long tail of rounds with few live nodes therefore costs per-word scans
+// proportional to the surviving cluster, not O(n) per round.
+//
+// RunWorkers distributes each phase by work stealing: workers claim
+// fixed-size chunks of the live window's word range from an atomic cursor
+// (one per phase, reset behind the barrier) until the cursor runs off the
+// end. The claim schedule is nondeterministic; the results are not, by
+// this argument: a chunk claim decides only WHICH worker processes a
+// node's sends or receives, never what happens to them. Send-phase writes
+// land in the per-directed-edge slab slot of the sending half, a location
+// fixed by the graph, not the schedule. Receive-phase chunks are disjoint
+// word ranges, so a claimant exclusively owns its nodes' frontier words —
+// and with them the next-frontier writes, halt-time entries and live-count
+// decrements; the per-round traffic rows are integer sums merged across
+// workers at the barrier. Every claim interleaving therefore produces
+// byte-identical outputs and Stats, which the steal-interleaving tests pin
+// by shrinking chunks to one word and yielding between claims.
 //
 // # RunConcurrent is didactic, not a hot path
 //

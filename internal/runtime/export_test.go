@@ -1,0 +1,23 @@
+package runtime
+
+// Test-only access to the work-stealing knobs: the interleaving pins shrink
+// chunks to one word and inject scheduler yields between claims, which the
+// production path never does.
+
+// SetStealChunkWords overrides the minimum claim granularity and returns a
+// restore func. Small graphs then split into word-sized chunks, so several
+// workers genuinely interleave claims even where one chunk would cover the
+// whole frontier.
+func SetStealChunkWords(w int) (restore func()) {
+	old := stealChunkWords
+	stealChunkWords = w
+	return func() { stealChunkWords = old }
+}
+
+// SetStealYield installs a hook run between chunk claims and returns a
+// restore func; tests pass runtime.Gosched to perturb the claim schedule.
+func SetStealYield(f func()) (restore func()) {
+	old := stealYield
+	stealYield = f
+	return func() { stealYield = old }
+}

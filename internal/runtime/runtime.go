@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 
 	"repro/internal/graph"
@@ -158,8 +159,17 @@ func RunSequentialLabeled(g *graph.Graph, labels []int, src Source, maxRounds in
 	machines := src.NewPool(n)
 	flats := make([]FlatMachine, n)
 	arenaMs := make([]ArenaMachine, n)
-	halted := make([]bool, n)
 	offsets := make([]int, n+1)
+	// Live nodes are a bitset frontier (see frontier.go), double-buffered
+	// per round: the send and deliver loops scan set bits branch-free, and
+	// the deliver loop drops each word's freshly-halted bits with one
+	// AND-NOT while building the next round's frontier.
+	cur := make([]uint64, frontierWords(n))
+	next := make([]uint64, frontierWords(n))
+	// scanLo/scanHi bound the frontier's nonzero words; liveness only
+	// shrinks, so each round re-derives the window from the words it wrote
+	// and a clustered tail stops paying for the whole array.
+	scanLo, scanHi := frontierWords(n), 0
 	live := 0
 	for v := 0; v < n; v++ {
 		m := machines[v]
@@ -170,8 +180,12 @@ func RunSequentialLabeled(g *graph.Graph, labels []int, src Source, maxRounds in
 			arenaMs[v] = am
 		}
 		m.Init(NodeInfo{K: k, Colors: g.IncidentColors(v), Label: labelOf(labels, v)})
-		halted[v] = m.Halted()
-		if !halted[v] {
+		if !m.Halted() {
+			frontierSet(cur, v)
+			if v>>6 < scanLo {
+				scanLo = v >> 6
+			}
+			scanHi = v>>6 + 1
 			live++
 		}
 		_, offsets[v+1] = g.HalfRange(v)
@@ -192,82 +206,98 @@ func RunSequentialLabeled(g *graph.Graph, labels []int, src Source, maxRounds in
 		// The previous round's receives are done, so arena payloads are
 		// no longer referenced and the slabs can be recycled.
 		arena.Reset()
-		// Phase 1: all sends, before any receive (synchronous rounds).
-		for v := 0; v < n; v++ {
-			if halted[v] {
-				continue
-			}
-			vlo, vhi := offsets[v], offsets[v+1]
-			if fm := flats[v]; fm != nil {
-				if am := arenaMs[v]; am != nil {
-					am.SendFlatArena(outBuf, &arena)
-				} else {
-					fm.SendFlat(outBuf)
-				}
-				for i := vlo; i < vhi; i++ {
-					if msg := outBuf[halves[i].Color]; msg != nil {
-						slab[i] = msg
-						outBuf[halves[i].Color] = nil
+		// Phase 1: all sends, before any receive (synchronous rounds). The
+		// frontier scan visits live nodes in ascending order, exactly like
+		// the halted-flag walk it replaces.
+		for wi := scanLo; wi < scanHi; wi++ {
+			for word := cur[wi]; word != 0; word &= word - 1 {
+				v := wi<<6 + bits.TrailingZeros64(word)
+				vlo, vhi := offsets[v], offsets[v+1]
+				if fm := flats[v]; fm != nil {
+					if am := arenaMs[v]; am != nil {
+						am.SendFlatArena(outBuf, &arena)
+					} else {
+						fm.SendFlat(outBuf)
 					}
-				}
-			} else {
-				msgs := machines[v].Send()
-				for i := vlo; i < vhi; i++ {
-					// nil values mean "send nothing", as in every engine.
-					if msg, ok := msgs[halves[i].Color]; ok && msg != nil {
-						slab[i] = msg
-					}
-				}
-			}
-		}
-		// Phase 2: deliver and update.
-		var traffic RoundTraffic
-		for v := 0; v < n; v++ {
-			if halted[v] {
-				continue
-			}
-			vlo, vhi := offsets[v], offsets[v+1]
-			m := machines[v]
-			if fm := flats[v]; fm != nil {
-				got := 0
-				for i := vlo; i < vhi; i++ {
-					if msg := slab[mates[i]]; msg != nil {
-						inBuf[halves[i].Color] = msg
-						slab[mates[i]] = nil
-						got++
-						traffic.Bytes += messageBytes(msg)
-					}
-				}
-				traffic.Messages += got
-				fm.ReceiveFlat(inBuf)
-				if got > 0 {
 					for i := vlo; i < vhi; i++ {
-						inBuf[halves[i].Color] = nil
-					}
-				}
-			} else {
-				// The in-map is allocated lazily: nil-map reads are fine
-				// for machines, and most (node, round) pairs get nothing.
-				var in map[group.Color]Message
-				for i := vlo; i < vhi; i++ {
-					if msg := slab[mates[i]]; msg != nil {
-						if in == nil {
-							in = make(map[group.Color]Message, vhi-vlo)
+						if msg := outBuf[halves[i].Color]; msg != nil {
+							slab[i] = msg
+							outBuf[halves[i].Color] = nil
 						}
-						in[halves[i].Color] = msg
-						slab[mates[i]] = nil
-						traffic.Messages++
-						traffic.Bytes += messageBytes(msg)
+					}
+				} else {
+					msgs := machines[v].Send()
+					for i := vlo; i < vhi; i++ {
+						// nil values mean "send nothing", as in every engine.
+						if msg, ok := msgs[halves[i].Color]; ok && msg != nil {
+							slab[i] = msg
+						}
 					}
 				}
-				m.Receive(in)
-			}
-			if m.Halted() {
-				halted[v] = true
-				stats.HaltTimes[v] = round
-				live--
 			}
 		}
+		// Phase 2: deliver and update, building the next frontier word by
+		// word (freshly-halted bits leave with one AND-NOT per word).
+		var traffic RoundTraffic
+		nextLo, nextHi := len(cur), 0
+		for wi := scanLo; wi < scanHi; wi++ {
+			word := cur[wi]
+			lw := word
+			for bw := word; bw != 0; bw &= bw - 1 {
+				t := bits.TrailingZeros64(bw)
+				v := wi<<6 + t
+				vlo, vhi := offsets[v], offsets[v+1]
+				m := machines[v]
+				if fm := flats[v]; fm != nil {
+					got := 0
+					for i := vlo; i < vhi; i++ {
+						if msg := slab[mates[i]]; msg != nil {
+							inBuf[halves[i].Color] = msg
+							slab[mates[i]] = nil
+							got++
+							traffic.Bytes += messageBytes(msg)
+						}
+					}
+					traffic.Messages += got
+					fm.ReceiveFlat(inBuf)
+					if got > 0 {
+						for i := vlo; i < vhi; i++ {
+							inBuf[halves[i].Color] = nil
+						}
+					}
+				} else {
+					// The in-map is allocated lazily: nil-map reads are fine
+					// for machines, and most (node, round) pairs get nothing.
+					var in map[group.Color]Message
+					for i := vlo; i < vhi; i++ {
+						if msg := slab[mates[i]]; msg != nil {
+							if in == nil {
+								in = make(map[group.Color]Message, vhi-vlo)
+							}
+							in[halves[i].Color] = msg
+							slab[mates[i]] = nil
+							traffic.Messages++
+							traffic.Bytes += messageBytes(msg)
+						}
+					}
+					m.Receive(in)
+				}
+				if m.Halted() {
+					lw &^= 1 << uint(t)
+					stats.HaltTimes[v] = round
+					live--
+				}
+			}
+			next[wi] = lw
+			if lw != 0 {
+				if wi < nextLo {
+					nextLo = wi
+				}
+				nextHi = wi + 1
+			}
+		}
+		cur, next = next, cur
+		scanLo, scanHi = nextLo, nextHi
 		stats.Messages += traffic.Messages
 		stats.PerRound = append(stats.PerRound, traffic)
 		stats.Rounds = round

@@ -2,8 +2,8 @@ package runtime
 
 import (
 	"fmt"
+	"math/bits"
 	goruntime "runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -32,7 +32,8 @@ type FlatMachine interface {
 }
 
 // RunWorkers executes the protocol on a fixed pool of GOMAXPROCS workers
-// with a round barrier: nodes are sharded across workers, and messages live
+// with a round barrier: live nodes are tracked in a shared bitset frontier,
+// workers claim word chunks of it from an atomic cursor, and messages live
 // in a dense per-directed-edge slab, so the round loop performs no
 // allocations. Outputs and statistics coincide with RunSequential and
 // RunConcurrent for deterministic machines.
@@ -46,8 +47,10 @@ func RunWorkersLabeled(g *graph.Graph, labels []int, src Source, maxRounds int) 
 }
 
 // RunWorkersN is RunWorkersLabeled with an explicit worker count. The
-// result is independent of the worker count: the two phase barriers per
-// round make every interleaving equivalent to the sequential schedule.
+// result is independent of the worker count and of the chunk-claim
+// schedule: the two phase barriers per round make every interleaving
+// equivalent to the sequential schedule (see steal.go and runtime/doc.go
+// for the determinism argument).
 func RunWorkersN(g *graph.Graph, labels []int, src Source, maxRounds, workers int) ([]mm.Output, *Stats, error) {
 	if err := checkLabels(g, labels); err != nil {
 		return nil, nil, err
@@ -75,7 +78,7 @@ func RunWorkersN(g *graph.Graph, labels []int, src Source, maxRounds, workers in
 		clear(st.arenaMs)
 		workersStatePool.Put(st)
 	}()
-	st.fit(n, len(halves), workers)
+	st.fit(n, len(halves), workers, k)
 	offsets := st.offsets
 	for v := 0; v < n; v++ {
 		_, offsets[v+1] = g.HalfRange(v)
@@ -99,7 +102,15 @@ func RunWorkersN(g *graph.Graph, labels []int, src Source, maxRounds, workers in
 	arenaMs := st.arenaMs // nil where the machine takes no arena
 	haltTimes := make([]int, n)
 	var alive int64
-	live := st.live
+	// scanLo/scanHi bound the frontier's nonzero words. Liveness only
+	// shrinks (machines never un-halt), so each round's receive phase can
+	// re-derive the bound from the words it wrote and the next round scans
+	// only that window — a clustered tail stops paying for the whole array.
+	words := frontierWords(n)
+	scanLo, scanHi := words, 0
+	// cur is round 1's frontier; fit zeroed the pooled words, so setting
+	// only the live bits here cannot inherit liveness from a previous run.
+	cur, next := st.cur, st.next
 	for v := 0; v < n; v++ {
 		m := machines[v]
 		if fm, ok := m.(FlatMachine); ok {
@@ -114,12 +125,16 @@ func RunWorkersN(g *graph.Graph, labels []int, src Source, maxRounds, workers in
 		}
 		m.Init(NodeInfo{K: k, Colors: g.IncidentColors(v), Label: labelOf(labels, v)})
 		if !m.Halted() {
-			live[v] = true
+			frontierSet(cur, v)
+			if v>>6 < scanLo {
+				scanLo = v >> 6
+			}
+			scanHi = v>>6 + 1
 			alive++
-		} else {
-			live[v] = false
 		}
 	}
+	st.scanLo, st.scanHi = scanLo, scanHi
+	chunkWords := chunkWordsFor(words, workers)
 
 	// slab[i] is the message in flight on directed edge i (= Halves()[i]).
 	// Written by the owner during the send phase, read and re-nilled by the
@@ -128,38 +143,45 @@ func RunWorkersN(g *graph.Graph, labels []int, src Source, maxRounds, workers in
 	// ever touched concurrently.
 	slab := st.slab
 
-	// Shards are contiguous node ranges balanced by weight rather than node
-	// count: a node's round cost is proportional to its degree, so boundaries
-	// equalise nodes + directed edges per shard (offsets[v] + v is strictly
-	// increasing, which also keeps shards nonempty on edge-free graphs).
-	bounds := st.bounds
-	weight := offsets[n] + n
-	bounds[0], bounds[workers] = 0, n
-	for w := 1; w < workers; w++ {
-		target := w * weight / workers
-		bounds[w] = sort.Search(n, func(v int) bool { return offsets[v]+v >= target })
+	// Phase cursors start at zero and are both reset by the last worker
+	// arriving at the end-of-round barrier, while it holds the barrier lock:
+	// the send cursor is idle since the mid-round barrier, the receive
+	// cursor since every claim loop drained, so neither reset races a claim.
+	sendCursor, recvCursor := &st.sendCursor, &st.recvCursor
+	// endRound runs in the last worker to reach the end-of-round barrier,
+	// under the barrier lock: it merges the per-worker live-word bounds
+	// published just before the barrier and rewinds the phase cursors.
+	// Everything it writes is read only after the barrier releases, so the
+	// barrier's mutex orders the round handoff.
+	endRound := func() {
+		lo, hi := words, 0
+		for w := 0; w < workers; w++ {
+			if st.wmin[w] < lo {
+				lo = st.wmin[w]
+			}
+			if st.wmax[w]+1 > hi {
+				hi = st.wmax[w] + 1
+			}
+		}
+		st.scanLo, st.scanHi = lo, hi
+		sendCursor.Store(0)
+		recvCursor.Store(0)
 	}
 
 	bar := newBarrier(workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo, hi := bounds[w], bounds[w+1]
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(w int) {
 			defer wg.Done()
+			// Each worker swaps its own view of the double buffer at the
+			// end-of-round barrier, so the swap must be goroutine-local:
+			// shadow the shared headers rather than reassigning them.
+			cur, next := cur, next
 			arena := &st.arenas[w]
-			outBuf := make([]Message, k+1)
-			inBuf := make([]Message, k+1)
-			// active lists this shard's live nodes in ascending order; the
-			// receive phase compacts it in place, so per-round work is
-			// proportional to the shard's live nodes, not its size.
-			active := make([]int32, 0, hi-lo)
-			for v := lo; v < hi; v++ {
-				if live[v] {
-					active = append(active, int32(v))
-				}
-			}
+			outBuf := st.outBufs[w]
+			inBuf := st.inBufs[w]
 			// traffic[r-1] is this worker's delivered share of round r; the
 			// slice is pooled in the workers state, so steady-state runs
 			// record the histogram without allocating.
@@ -170,6 +192,7 @@ func RunWorkersN(g *graph.Graph, labels []int, src Source, maxRounds, workers in
 				if atomic.LoadInt64(&alive) == 0 {
 					break
 				}
+				base, limit := st.scanLo, st.scanHi
 				if round > maxRounds {
 					errs[w] = fmt.Errorf("runtime: no termination within %d rounds", maxRounds)
 					break
@@ -178,87 +201,121 @@ func RunWorkersN(g *graph.Graph, labels []int, src Source, maxRounds, workers in
 				// barrier, so its arena payloads are no longer referenced by
 				// any live reader and the slabs can be recycled.
 				arena.Reset()
-				// Send phase: each worker fills the slab slots of its own
-				// nodes' outgoing halves.
-				for _, v32 := range active {
-					v := int(v32)
-					vlo, vhi := offsets[v], offsets[v+1]
-					if fm := flats[v]; fm != nil {
-						if am := arenaMs[v]; am != nil {
-							am.SendFlatArena(outBuf, arena)
-						} else {
-							fm.SendFlat(outBuf)
-						}
-						for i := vlo; i < vhi; i++ {
-							if msg := outBuf[halves[i].Color]; msg != nil {
-								slab[i] = msg
-								outBuf[halves[i].Color] = nil
-							}
-						}
-					} else {
-						msgs := machines[v].Send()
-						for i := vlo; i < vhi; i++ {
-							// nil values mean "send nothing", as in every engine.
-							if msg, ok := msgs[halves[i].Color]; ok && msg != nil {
-								slab[i] = msg
-							}
-						}
+				// Send phase: claim frontier chunks; each live node's
+				// outgoing halves land in its own slab slots, so the claim
+				// schedule cannot change what any slot holds.
+				for {
+					wlo, whi, ok := claimChunk(sendCursor, base, limit, chunkWords)
+					if !ok {
+						break
 					}
-				}
-				bar.wait()
-				// Receive phase: gather each node's incoming slots, deliver,
-				// and clear the consumed slots for the next round.
-				var rt RoundTraffic
-				kept := active[:0]
-				for _, v32 := range active {
-					v := int(v32)
-					vlo, vhi := offsets[v], offsets[v+1]
-					m := machines[v]
-					if fm := flats[v]; fm != nil {
-						got := 0
-						for i := vlo; i < vhi; i++ {
-							if msg := slab[mates[i]]; msg != nil {
-								inBuf[halves[i].Color] = msg
-								slab[mates[i]] = nil
-								got++
-								rt.Bytes += messageBytes(msg)
-							}
-						}
-						rt.Messages += got
-						fm.ReceiveFlat(inBuf)
-						if got > 0 {
-							for i := vlo; i < vhi; i++ {
-								inBuf[halves[i].Color] = nil
-							}
-						}
-					} else {
-						var in map[group.Color]Message
-						for i := vlo; i < vhi; i++ {
-							if msg := slab[mates[i]]; msg != nil {
-								if in == nil {
-									in = make(map[group.Color]Message, vhi-vlo)
+					for wi := wlo; wi < whi; wi++ {
+						for word := cur[wi]; word != 0; word &= word - 1 {
+							v := wi<<6 + bits.TrailingZeros64(word)
+							vlo, vhi := offsets[v], offsets[v+1]
+							if fm := flats[v]; fm != nil {
+								if am := arenaMs[v]; am != nil {
+									am.SendFlatArena(outBuf, arena)
+								} else {
+									fm.SendFlat(outBuf)
 								}
-								in[halves[i].Color] = msg
-								slab[mates[i]] = nil
-								rt.Messages++
-								rt.Bytes += messageBytes(msg)
+								for i := vlo; i < vhi; i++ {
+									if msg := outBuf[halves[i].Color]; msg != nil {
+										slab[i] = msg
+										outBuf[halves[i].Color] = nil
+									}
+								}
+							} else {
+								msgs := machines[v].Send()
+								for i := vlo; i < vhi; i++ {
+									// nil values mean "send nothing", as in every engine.
+									if msg, ok := msgs[halves[i].Color]; ok && msg != nil {
+										slab[i] = msg
+									}
+								}
 							}
 						}
-						m.Receive(in)
-					}
-					if m.Halted() {
-						haltTimes[v] = round
-						atomic.AddInt64(&alive, -1)
-					} else {
-						kept = append(kept, v32)
 					}
 				}
-				active = kept
+				bar.wait(nil)
+				// Receive phase: claim frontier chunks again. Chunks are
+				// disjoint word ranges, so the claimant exclusively owns its
+				// words' nodes: it gathers their incoming slots, delivers,
+				// clears the consumed slots, and writes the words of the
+				// next frontier (halted bits dropped by one AND-NOT each).
+				var rt RoundTraffic
+				// wmin/wmax track the nonzero next-frontier words this worker
+				// wrote; published to the per-worker slots before the barrier.
+				wmin, wmax := words, -1
+				for {
+					wlo, whi, ok := claimChunk(recvCursor, base, limit, chunkWords)
+					if !ok {
+						break
+					}
+					for wi := wlo; wi < whi; wi++ {
+						word := cur[wi]
+						lw := word
+						for bw := word; bw != 0; bw &= bw - 1 {
+							t := bits.TrailingZeros64(bw)
+							v := wi<<6 + t
+							vlo, vhi := offsets[v], offsets[v+1]
+							m := machines[v]
+							if fm := flats[v]; fm != nil {
+								got := 0
+								for i := vlo; i < vhi; i++ {
+									if msg := slab[mates[i]]; msg != nil {
+										inBuf[halves[i].Color] = msg
+										slab[mates[i]] = nil
+										got++
+										rt.Bytes += messageBytes(msg)
+									}
+								}
+								rt.Messages += got
+								fm.ReceiveFlat(inBuf)
+								if got > 0 {
+									for i := vlo; i < vhi; i++ {
+										inBuf[halves[i].Color] = nil
+									}
+								}
+							} else {
+								var in map[group.Color]Message
+								for i := vlo; i < vhi; i++ {
+									if msg := slab[mates[i]]; msg != nil {
+										if in == nil {
+											in = make(map[group.Color]Message, vhi-vlo)
+										}
+										in[halves[i].Color] = msg
+										slab[mates[i]] = nil
+										rt.Messages++
+										rt.Bytes += messageBytes(msg)
+									}
+								}
+								m.Receive(in)
+							}
+							if m.Halted() {
+								lw &^= 1 << uint(t)
+								haltTimes[v] = round
+								atomic.AddInt64(&alive, -1)
+							}
+						}
+						next[wi] = lw
+						if lw != 0 {
+							if wi < wmin {
+								wmin = wi
+							}
+							wmax = wi
+						}
+					}
+				}
+				st.wmin[w], st.wmax[w] = wmin, wmax
 				traffic = append(traffic, rt)
-				bar.wait()
+				bar.wait(endRound)
+				// Every worker swaps its local view in lockstep behind the
+				// barrier, so all of round r+1 reads the frontier round r built.
+				cur, next = next, cur
 			}
 			st.traffic[w] = traffic
-		}(w, lo, hi)
+		}(w)
 	}
 	wg.Wait()
 
@@ -309,38 +366,63 @@ type workersState struct {
 	machines []Machine
 	flats    []FlatMachine
 	arenaMs  []ArenaMachine
-	live     []bool
-	offsets  []int
-	bounds   []int
-	slab     []Message
-	arenas   []RoundArena
+	// cur/next are the double-buffered frontier word arrays; fit zeroes
+	// them on every reuse (a run that errored out of its round loop can
+	// leave bits behind, and stale liveness must never leak across runs).
+	cur, next []uint64
+	offsets   []int
+	slab      []Message
+	arenas    []RoundArena
+	// outBufs/inBufs are the per-worker colour-indexed message buffers
+	// (length k+1, all-nil between nodes by the send/receive contracts);
+	// pooling them removes two allocations per worker per run.
+	outBufs, inBufs [][]Message
 	// traffic[w] is worker w's per-round message/byte counts; the inner
 	// slices keep their capacity across runs so the histogram is free at
 	// steady state.
 	traffic [][]RoundTraffic
+	// wmin/wmax are the per-worker nonzero next-frontier word bounds of the
+	// current round; scanLo/scanHi the merged live window the next round
+	// scans. All four are handed across rounds under the barrier lock.
+	wmin, wmax     []int
+	scanLo, scanHi int
+	// Phase-claim cursors, reset by fit (a run that broke out of its round
+	// loop on an error leaves them mid-range).
+	sendCursor, recvCursor atomicCursor
 }
 
 var workersStatePool = sync.Pool{New: func() any { return &workersState{} }}
 
-// fit resizes the scratch for n nodes, h directed edges and the given
-// worker count. Machine, flat and live entries are fully overwritten by the
-// init loop; the slab must be all-nil, and a previous run can leave stale
-// messages only in slots whose reader halted, so it is cleared here rather
-// than trusted. Arenas keep their slabs across runs — that is the point of
-// pooling them — because payload contents carry no cross-run meaning.
-func (st *workersState) fit(n, h, workers int) {
+// fit resizes the scratch for n nodes, h directed edges, the given worker
+// count and palette k. Machine, flat and offset entries are fully
+// overwritten by the init loop; the slab must be all-nil, the frontier
+// words all-zero, and the flat buffers all-nil, and a previous run can
+// leave stale state in any of them (a halted reader strands its slab slot,
+// an error path abandons the frontier mid-round), so all three are cleared
+// here rather than trusted. Arenas keep their slabs across runs — that is
+// the point of pooling them — because payload contents carry no cross-run
+// meaning.
+func (st *workersState) fit(n, h, workers, k int) {
 	if cap(st.machines) < n {
 		st.machines = make([]Machine, n)
 		st.flats = make([]FlatMachine, n)
 		st.arenaMs = make([]ArenaMachine, n)
-		st.live = make([]bool, n)
 		st.offsets = make([]int, n+1)
 	}
 	st.machines = st.machines[:n]
 	st.flats = st.flats[:n]
 	st.arenaMs = st.arenaMs[:n]
-	st.live = st.live[:n]
 	st.offsets = st.offsets[:n+1]
+	words := frontierWords(n)
+	if cap(st.cur) < words {
+		st.cur = make([]uint64, words)
+		st.next = make([]uint64, words)
+	} else {
+		st.cur = st.cur[:words]
+		st.next = st.next[:words]
+		clear(st.cur)
+		clear(st.next)
+	}
 	if cap(st.slab) < h {
 		st.slab = make([]Message, h)
 	} else {
@@ -357,10 +439,31 @@ func (st *workersState) fit(n, h, workers int) {
 		copy(traffic, st.traffic) // keep already-grown round slices
 		st.traffic = traffic
 	}
-	if cap(st.bounds) < workers+1 {
-		st.bounds = make([]int, workers+1)
+	if len(st.wmin) < workers {
+		st.wmin = make([]int, workers)
+		st.wmax = make([]int, workers)
 	}
-	st.bounds = st.bounds[:workers+1]
+	if len(st.outBufs) < workers {
+		outBufs := make([][]Message, workers)
+		copy(outBufs, st.outBufs)
+		st.outBufs = outBufs
+		inBufs := make([][]Message, workers)
+		copy(inBufs, st.inBufs)
+		st.inBufs = inBufs
+	}
+	for w := 0; w < workers; w++ {
+		if cap(st.outBufs[w]) < k+1 {
+			st.outBufs[w] = make([]Message, k+1)
+			st.inBufs[w] = make([]Message, k+1)
+		} else {
+			st.outBufs[w] = st.outBufs[w][:k+1]
+			st.inBufs[w] = st.inBufs[w][:k+1]
+			clear(st.outBufs[w])
+			clear(st.inBufs[w])
+		}
+	}
+	st.sendCursor.Store(0)
+	st.recvCursor.Store(0)
 }
 
 // barrier is an allocation-free cyclic barrier: the round loop crosses it
@@ -380,12 +483,17 @@ func newBarrier(n int) *barrier {
 }
 
 // wait blocks until all n parties have called wait for the current
-// generation, then releases them together.
-func (b *barrier) wait() {
+// generation, then releases them together. A non-nil onLast runs in the
+// last arriver, under the barrier lock, before anyone is released — the
+// hook the engine uses to reset the phase cursors race-free.
+func (b *barrier) wait(onLast func()) {
 	b.mu.Lock()
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
+		if onLast != nil {
+			onLast()
+		}
 		b.count = 0
 		b.gen++
 		b.cond.Broadcast()
